@@ -1,0 +1,41 @@
+// Command memcalc prints the §4 memory-overhead analysis (Table 1): the
+// worked k=32 fat-tree example plus a small sensitivity table over link
+// rates and path counts.
+package main
+
+import (
+	"fmt"
+
+	"themis/internal/memmodel"
+	"themis/internal/sim"
+)
+
+func main() {
+	p := memmodel.PaperDefaults()
+	fmt.Print(p.Report())
+
+	ft := memmodel.FatTree{K: 32}
+	fmt.Printf("\nWorked example fabric (fat-tree k=32):\n")
+	fmt.Printf("  %d ToR + %d spine + %d core switches, %d NICs, max %d equal-cost paths\n",
+		ft.Leaves(), ft.Spines(), ft.Cores(), ft.Hosts(), ft.MaxPaths())
+
+	fmt.Printf("\nSensitivity (M_total KB per ToR):\n")
+	fmt.Printf("%-12s %10s %10s %10s\n", "BW \\ paths", "64", "256", "1024")
+	for _, bw := range []int64{100e9, 400e9, 800e9} {
+		fmt.Printf("%-12s", fmt.Sprintf("%dG", bw/1e9))
+		for _, paths := range []int{64, 256, 1024} {
+			q := p
+			q.Bandwidth = bw
+			q.NPaths = paths
+			fmt.Printf(" %10.1f", float64(q.TotalBytes())/1024)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nRTT sensitivity (N_entries per QP):\n")
+	for _, rtt := range []sim.Duration{1, 2, 4, 8} {
+		q := p
+		q.RTTLast = rtt * sim.Microsecond
+		fmt.Printf("  RTT_last=%dus -> %d entries (%d B per QP)\n", rtt, q.QueueEntries(), q.PerQPBytes())
+	}
+}

@@ -1,0 +1,306 @@
+// Command themis-sim runs the paper's experiments from the command line.
+//
+//	themis-sim motivation [-bytes N] [-seed S] [-transport nic-sr|ideal|gbn] [-series]
+//	    Fig. 1: the §2.2 motivation study (retransmission ratio, sending
+//	    rate, throughput vs the ideal transport).
+//
+//	themis-sim collective [-pattern allreduce|alltoall] [-lb ecmp|rps|adaptive|flowlet|spray-nothemis|themis]
+//	    [-bytes N] [-ti us] [-td us] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-seed S]
+//	    One Fig. 5 cell: tail completion time of the slowest group.
+//
+//	themis-sim sweep [-pattern allreduce|alltoall] [-bytes N] [-seed S]
+//	    The full Fig. 5 matrix: all five DCQCN settings × {ECMP, AR, Themis}.
+//
+//	themis-sim memory [-paths N] [-bw gbps] [-rtt us] [-nics N] [-qps N] [-mtu N] [-factor F]
+//	    Table 1 / §4: the Themis memory-overhead model.
+//
+//	themis-sim trace [-qp N] [-last N]
+//	    Run a small contended Themis scenario and dump the packet/middleware
+//	    event trace — the evidence trail behind each NACK verdict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"themis"
+	"themis/internal/memmodel"
+	"themis/internal/packet"
+	"themis/internal/rnic"
+	"themis/internal/sim"
+	"themis/internal/trace"
+	"themis/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "motivation":
+		err = runMotivation(os.Args[2:])
+	case "collective":
+		err = runCollective(os.Args[2:])
+	case "sweep":
+		err = runSweep(os.Args[2:])
+	case "memory":
+		err = runMemory(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "themis-sim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "themis-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: themis-sim <motivation|collective|sweep|memory|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'themis-sim <command> -h' for command flags")
+}
+
+func parseTransport(s string) (rnic.Transport, error) {
+	switch s {
+	case "nic-sr":
+		return rnic.SelectiveRepeat, nil
+	case "ideal":
+		return rnic.Ideal, nil
+	case "gbn":
+		return rnic.GoBackN, nil
+	default:
+		return 0, fmt.Errorf("unknown transport %q (nic-sr|ideal|gbn)", s)
+	}
+}
+
+func parseLB(s string) (workload.LBMode, error) {
+	switch s {
+	case "ecmp":
+		return workload.ECMP, nil
+	case "rps":
+		return workload.RandomSpray, nil
+	case "adaptive":
+		return workload.Adaptive, nil
+	case "flowlet":
+		return workload.Flowlet, nil
+	case "spray-nothemis":
+		return workload.SprayNoThemis, nil
+	case "themis":
+		return workload.Themis, nil
+	default:
+		return 0, fmt.Errorf("unknown lb mode %q", s)
+	}
+}
+
+func parsePattern(s string) (themis.Pattern, error) {
+	switch s {
+	case "allreduce":
+		return themis.Allreduce, nil
+	case "alltoall":
+		return themis.AllToAll, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q (allreduce|alltoall)", s)
+	}
+}
+
+func runMotivation(args []string) error {
+	fs := flag.NewFlagSet("motivation", flag.ExitOnError)
+	bytes := fs.Int64("bytes", 100<<20, "message size per flow")
+	seed := fs.Int64("seed", 1, "random seed")
+	transport := fs.String("transport", "nic-sr", "reliable transport: nic-sr|ideal|gbn")
+	series := fs.Bool("series", false, "print full time series (Fig. 1b/1c data)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := parseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	res, err := themis.RunMotivation(themis.MotivationConfig{
+		Seed: *seed, MessageBytes: *bytes, Transport: tr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("motivation (Fig. 1): transport=%s bytes=%d seed=%d\n", tr, *bytes, *seed)
+	fmt.Printf("  completion time          : %.3f ms\n", res.CompletionTime.Seconds()*1e3)
+	fmt.Printf("  avg retransmission ratio : %.4f   (Fig. 1b, paper ~0.16)\n", res.AvgRetransRatio)
+	fmt.Printf("  avg sending rate         : %.1f Gbps (Fig. 1c, paper ~86)\n", res.AvgRateGbps)
+	fmt.Printf("  avg flow throughput      : %.2f Gbps (Fig. 1d, paper 68.09 nic-sr / 95.43 ideal)\n", res.AvgThroughput)
+	fmt.Printf("  sender: packets=%d retransmits=%d nacks=%d timeouts=%d\n",
+		res.Sender.DataPackets, res.Sender.Retransmits, res.Sender.NacksRx, res.Sender.Timeouts)
+	if *series {
+		fmt.Println()
+		fmt.Print(res.RetransRatio.Table())
+		fmt.Println()
+		fmt.Print(res.RateGbps.Table())
+	}
+	return nil
+}
+
+func collectiveConfig(fs *flag.FlagSet) (pattern, lbs *string, bytes, seed *int64, ti, td *int64, leaves, spines, hosts *int, bw *float64) {
+	pattern = fs.String("pattern", "allreduce", "collective: allreduce|alltoall")
+	lbs = fs.String("lb", "themis", "load balancing arm")
+	bytes = fs.Int64("bytes", 300<<20, "collective size per group")
+	seed = fs.Int64("seed", 1, "random seed")
+	ti = fs.Int64("ti", 900, "DCQCN rate-increase timer, microseconds")
+	td = fs.Int64("td", 4, "DCQCN rate-decrease interval, microseconds")
+	leaves = fs.Int("leaves", 16, "leaf switches")
+	spines = fs.Int("spines", 16, "spine switches")
+	hosts = fs.Int("hosts", 16, "hosts per leaf")
+	bw = fs.Float64("bw", 400, "link bandwidth, Gbps")
+	return
+}
+
+func runCollective(args []string) error {
+	fs := flag.NewFlagSet("collective", flag.ExitOnError)
+	pattern, lbs, bytes, seed, ti, td, leaves, spines, hosts, bw := collectiveConfig(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parsePattern(*pattern)
+	if err != nil {
+		return err
+	}
+	lbMode, err := parseLB(*lbs)
+	if err != nil {
+		return err
+	}
+	res, err := themis.RunCollective(themis.CollectiveConfig{
+		Seed: *seed, Pattern: p, MessageBytes: *bytes,
+		Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts,
+		Bandwidth: int64(*bw * 1e9),
+		LB:        lbMode,
+		TI:        sim.Duration(*ti) * sim.Microsecond,
+		TD:        sim.Duration(*td) * sim.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collective (Fig. 5): pattern=%s lb=%s bytes=%d (TI,TD)=(%d,%d)us\n",
+		p, lbMode, *bytes, *ti, *td)
+	fmt.Printf("  tail completion time : %.3f ms\n", res.TailCCT.Seconds()*1e3)
+	fmt.Printf("  retransmission ratio : %.4f\n", res.RetransRatio())
+	fmt.Printf("  sender: packets=%d retransmits=%d nacks=%d cnps=%d timeouts=%d\n",
+		res.Sender.DataPackets, res.Sender.Retransmits, res.Sender.NacksRx, res.Sender.CnpsRx, res.Sender.Timeouts)
+	if lbMode == workload.Themis {
+		fmt.Printf("  themis: sprayed=%d blocked=%d forwarded=%d compensated=%d\n",
+			res.Middleware.Sprayed, res.Middleware.NacksBlocked, res.Middleware.NacksForwarded, res.Middleware.Compensations)
+	}
+	return nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall")
+	bytes := fs.Int64("bytes", 300<<20, "collective size per group")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parsePattern(*pattern)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 5 sweep: %s, %d MB per group, tail CCT in ms\n", p, *bytes>>20)
+	fmt.Printf("%-12s %10s %10s %10s %12s\n", "(TI,TD) us", "ecmp", "adaptive", "themis", "themis-vs-AR")
+	for _, s := range themis.PaperDCQCNSettings() {
+		row := map[themis.LBMode]float64{}
+		for _, arm := range themis.Fig5Arms() {
+			res, err := themis.RunCollective(themis.CollectiveConfig{
+				Seed: *seed, Pattern: p, MessageBytes: *bytes,
+				LB: arm, TI: s.TI, TD: s.TD,
+			})
+			if err != nil {
+				return err
+			}
+			row[arm] = res.TailCCT.Seconds() * 1e3
+		}
+		red := (row[themis.Adaptive] - row[themis.Themis]) / row[themis.Adaptive] * 100
+		fmt.Printf("(%d,%d)%*s %10.3f %10.3f %10.3f %11.1f%%\n",
+			int64(s.TI.Microseconds()), int64(s.TD.Microseconds()),
+			12-len(fmt.Sprintf("(%d,%d)", int64(s.TI.Microseconds()), int64(s.TD.Microseconds()))), "",
+			row[themis.ECMP], row[themis.Adaptive], row[themis.Themis], red)
+	}
+	return nil
+}
+
+func runMemory(args []string) error {
+	fs := flag.NewFlagSet("memory", flag.ExitOnError)
+	paths := fs.Int("paths", 256, "equal-cost paths N_paths")
+	bw := fs.Float64("bw", 400, "last-hop bandwidth, Gbps")
+	rtt := fs.Int64("rtt", 2, "last-hop RTT, microseconds")
+	nics := fs.Int("nics", 16, "NICs per ToR")
+	qps := fs.Int("qps", 100, "cross-rack QPs per NIC")
+	mtu := fs.Int("mtu", 1500, "MTU bytes")
+	factor := fs.Float64("factor", 1.5, "queue expansion factor F")
+	k := fs.Int("fattree", 0, "derive N_paths and NICs/ToR from a k-port fat-tree (overrides -paths/-nics)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := memmodel.Params{
+		NPaths:    *paths,
+		Bandwidth: int64(*bw * 1e9),
+		RTTLast:   sim.Duration(*rtt) * sim.Microsecond,
+		NNIC:      *nics,
+		NQP:       *qps,
+		MTU:       *mtu,
+		Factor:    *factor,
+	}
+	if *k > 0 {
+		ft := memmodel.FatTree{K: *k}
+		p.NPaths = ft.MaxPaths()
+		p.NNIC = ft.NICsPerToR()
+		fmt.Printf("fat-tree k=%d: %d leaves, %d spines, %d cores, %d hosts\n",
+			*k, ft.Leaves(), ft.Spines(), ft.Cores(), ft.Hosts())
+	}
+	fmt.Print(p.Report())
+	return nil
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	qp := fs.Int("qp", 0, "restrict the dump to one QP (0 = all)")
+	last := fs.Int("last", 60, "print only the last N events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := trace.New(1 << 16)
+	cl, err := workload.BuildCluster(workload.ClusterConfig{
+		Seed: 42, Leaves: 2, Spines: 2, HostsPerLeaf: 4, Bandwidth: 100e9,
+		LB: workload.Themis, Tracer: tr,
+	})
+	if err != nil {
+		return err
+	}
+	done := 0
+	for i := 0; i < 4; i++ {
+		cl.Conn(packet.NodeID(i), packet.NodeID(4+i)).Send(2<<20, func() { done++ })
+	}
+	cl.Run(sim.Second)
+	if done != 4 {
+		return fmt.Errorf("scenario incomplete (%d/4 flows)", done)
+	}
+	evs := tr.Events()
+	if *qp > 0 {
+		evs = tr.ByQP(packet.QPID(*qp))
+	}
+	if len(evs) > *last {
+		fmt.Printf("... (%d earlier events elided)\n", len(evs)-*last)
+		evs = evs[len(evs)-*last:]
+	}
+	for _, ev := range evs {
+		fmt.Println(ev)
+	}
+	fmt.Println()
+	fmt.Print(tr.Summary())
+	return nil
+}

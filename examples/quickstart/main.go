@@ -1,0 +1,57 @@
+// Quickstart: build a two-rack cluster, send one RDMA message across it with
+// packet spraying, and watch Themis block the spurious NACKs that NIC-SR
+// generates for out-of-order arrivals.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"themis"
+)
+
+func main() {
+	// A 2-leaf x 4-spine fabric, four hosts per rack, 100 Gbps everywhere.
+	// LB == Themis installs the middleware on both ToR switches: Themis-S
+	// sprays data packets over the four spines by PSN; Themis-D filters the
+	// NACKs coming back from the receiving RNIC.
+	cl, err := themis.BuildCluster(themis.ClusterConfig{
+		Seed:         42,
+		Leaves:       2,
+		Spines:       4,
+		HostsPerLeaf: 4,
+		Bandwidth:    100e9,
+		LB:           themis.Themis,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Four cross-rack flows (host i -> host 4+i) create enough contention
+	// on the spines for multi-path delay variation — the condition that
+	// makes commodity NIC-SR misfire NACKs.
+	const message = 8 << 20 // 8 MB each
+	done := 0
+	for i := 0; i < 4; i++ {
+		conn := cl.Conn(themis.NodeID(i), themis.NodeID(4+i))
+		conn.Send(message, func() { done++ })
+	}
+
+	// Drive the discrete-event simulation to completion.
+	end := cl.Run(themis.Second)
+	if done != 4 {
+		log.Fatalf("only %d/4 flows completed by %v", done, end)
+	}
+
+	agg := cl.AggregateSenderStats()
+	mid := cl.ThemisStats()
+	fmt.Printf("transferred 4 x %d MB across racks in %.3f ms\n", message>>20, end.Seconds()*1e3)
+	fmt.Printf("  data packets        : %d\n", agg.DataPackets)
+	fmt.Printf("  spurious retransmits: %d\n", agg.Retransmits)
+	fmt.Printf("  NACKs reaching NICs : %d\n", agg.NacksRx)
+	fmt.Printf("  themis sprayed      : %d packets over 4 paths\n", mid.Sprayed)
+	fmt.Printf("  themis blocked      : %d invalid NACKs\n", mid.NacksBlocked)
+	fmt.Printf("  themis compensated  : %d real losses\n", mid.Compensations)
+}

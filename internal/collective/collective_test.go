@@ -1,0 +1,294 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// fakeConn is an in-memory connection with manually pumped delivery.
+type fakeConn struct {
+	src, dst  int
+	sent      []int64 // posted messages
+	acked     int     // how many sends have been acked
+	delivered int64   // cumulative delivered bytes
+	sentDone  []func()
+	notifies  []notify
+}
+
+type notify struct {
+	threshold int64
+	fn        func()
+}
+
+func (c *fakeConn) Send(bytes int64, sentDone func()) {
+	c.sent = append(c.sent, bytes)
+	c.sentDone = append(c.sentDone, sentDone)
+}
+
+func (c *fakeConn) NotifyRecv(threshold int64, fn func()) {
+	if c.delivered >= threshold {
+		fn()
+		return
+	}
+	c.notifies = append(c.notifies, notify{threshold, fn})
+}
+
+// deliverNext acks the oldest un-acked send and delivers its bytes.
+func (c *fakeConn) deliverNext() bool {
+	if c.acked >= len(c.sent) {
+		return false
+	}
+	bytes := c.sent[c.acked]
+	done := c.sentDone[c.acked]
+	c.acked++
+	if done != nil {
+		done()
+	}
+	c.delivered += bytes
+	for len(c.notifies) > 0 && c.notifies[0].threshold <= c.delivered {
+		fn := c.notifies[0].fn
+		c.notifies = c.notifies[1:]
+		fn()
+	}
+	return true
+}
+
+type fakeMesh struct {
+	conns map[string]*fakeConn
+}
+
+func newFakeMesh() *fakeMesh { return &fakeMesh{conns: make(map[string]*fakeConn)} }
+
+func (m *fakeMesh) Conn(src, dst int) Conn {
+	k := fmt.Sprintf("%d-%d", src, dst)
+	c, ok := m.conns[k]
+	if !ok {
+		c = &fakeConn{src: src, dst: dst}
+		m.conns[k] = c
+	}
+	return c
+}
+
+// pump drains all in-flight messages until quiescent.
+func (m *fakeMesh) pump() {
+	for {
+		progressed := false
+		for _, c := range m.conns {
+			for c.deliverNext() {
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func TestRingAllreduceCompletes(t *testing.T) {
+	for _, g := range []int{2, 3, 4, 8, 16} {
+		m := newFakeMesh()
+		done := 0
+		RunRingAllreduce(m, g, 1600, func() { done++ })
+		m.pump()
+		if done != 1 {
+			t.Fatalf("g=%d: done=%d", g, done)
+		}
+		// Every rank used exactly one outgoing connection with 2(g-1) sends.
+		steps := 2 * (g - 1)
+		for _, c := range m.conns {
+			if len(c.sent) != steps {
+				t.Fatalf("g=%d: conn %d->%d sent %d messages, want %d", g, c.src, c.dst, len(c.sent), steps)
+			}
+		}
+		if len(m.conns) != g {
+			t.Fatalf("g=%d: %d connections, want %d (ring)", g, len(m.conns), g)
+		}
+	}
+}
+
+func TestRingAllreduceChunkSizes(t *testing.T) {
+	m := newFakeMesh()
+	RunRingAllreduce(m, 4, 1000, nil) // chunk = ceil(1000/4) = 250
+	m.pump()
+	for _, c := range m.conns {
+		for _, b := range c.sent {
+			if b != 250 {
+				t.Fatalf("chunk = %d, want 250", b)
+			}
+		}
+	}
+}
+
+func TestRingAllreduceDependency(t *testing.T) {
+	// Without pumping, only step-0 sends may be posted: step s needs the
+	// step s-1 receive.
+	m := newFakeMesh()
+	RunRingAllreduce(m, 4, 1600, nil)
+	for _, c := range m.conns {
+		if len(c.sent) != 1 {
+			t.Fatalf("conn %d->%d posted %d sends before any receive", c.src, c.dst, len(c.sent))
+		}
+	}
+	// Deliver exactly one message on the 0->1 connection: rank 1 may then
+	// post its step-1 send (on 1->2), and nothing else changes.
+	m.Conn(0, 1).(*fakeConn).deliverNext()
+	if got := len(m.Conn(1, 2).(*fakeConn).sent); got != 2 {
+		t.Fatalf("rank 1 posted %d sends after its first receive, want 2", got)
+	}
+	if got := len(m.Conn(2, 3).(*fakeConn).sent); got != 1 {
+		t.Fatalf("rank 2 posted %d sends without receiving", got)
+	}
+}
+
+func TestRingAllreduceGroupOfOne(t *testing.T) {
+	done := 0
+	RunRingAllreduce(newFakeMesh(), 1, 1000, func() { done++ })
+	if done != 1 {
+		t.Fatal("g=1 should complete immediately")
+	}
+}
+
+func TestRingAllreduceBadGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunRingAllreduce(newFakeMesh(), 0, 1000, nil)
+}
+
+func TestAllToAllCompletes(t *testing.T) {
+	for _, g := range []int{2, 3, 4, 8} {
+		m := newFakeMesh()
+		done := 0
+		RunAllToAll(m, g, 800, func() { done++ })
+		m.pump()
+		if done != 1 {
+			t.Fatalf("g=%d: done=%d", g, done)
+		}
+		if len(m.conns) != g*(g-1) {
+			t.Fatalf("g=%d: %d connections, want %d", g, len(m.conns), g*(g-1))
+		}
+		for _, c := range m.conns {
+			if len(c.sent) != 1 {
+				t.Fatalf("alltoall conn sent %d messages", len(c.sent))
+			}
+		}
+	}
+}
+
+func TestAllToAllPostsAllUpFront(t *testing.T) {
+	m := newFakeMesh()
+	RunAllToAll(m, 4, 800, nil)
+	posted := 0
+	for _, c := range m.conns {
+		posted += len(c.sent)
+	}
+	if posted != 12 {
+		t.Fatalf("posted %d sends up front, want 12", posted)
+	}
+}
+
+func TestAllToAllGroupOfOne(t *testing.T) {
+	done := 0
+	RunAllToAll(newFakeMesh(), 1, 100, func() { done++ })
+	if done != 1 {
+		t.Fatal("g=1 should complete immediately")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	for _, p := range []Pattern{RingAllreduce, AllToAll} {
+		m := newFakeMesh()
+		done := 0
+		Run(p, m, 2, 100, func() { done++ })
+		m.pump()
+		if done != 1 {
+			t.Fatalf("%v: done=%d", p, done)
+		}
+	}
+}
+
+func TestRunUnknownPatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(Pattern(99), newFakeMesh(), 2, 100, nil)
+}
+
+func TestPatternString(t *testing.T) {
+	if RingAllreduce.String() != "allreduce" || AllToAll.String() != "alltoall" {
+		t.Fatal("pattern names")
+	}
+	if Pattern(5).String() != "Pattern(5)" {
+		t.Fatal("unknown pattern name")
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	if chunkSize(1000, 4) != 250 || chunkSize(1001, 4) != 251 || chunkSize(1, 16) != 1 {
+		t.Fatal("chunk sizing")
+	}
+}
+
+// Conservation: a ring allreduce moves exactly 2(G-1) x chunk bytes out of
+// every rank, and every byte sent is delivered.
+func TestRingAllreduceConservationProperty(t *testing.T) {
+	f := func(gRaw uint8, sizeRaw uint16) bool {
+		g := int(gRaw%15) + 2
+		size := int64(sizeRaw) + 1
+		m := newFakeMesh()
+		done := false
+		RunRingAllreduce(m, g, size, func() { done = true })
+		m.pump()
+		if !done {
+			return false
+		}
+		chunk := chunkSize(size, g)
+		want := int64(2*(g-1)) * chunk
+		for _, c := range m.conns {
+			var sent int64
+			for _, b := range c.sent {
+				sent += b
+			}
+			if sent != want || c.delivered != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Alltoall conservation: every ordered pair exchanges exactly one chunk.
+func TestAllToAllConservationProperty(t *testing.T) {
+	f := func(gRaw uint8, sizeRaw uint16) bool {
+		g := int(gRaw%10) + 2
+		size := int64(sizeRaw) + 1
+		m := newFakeMesh()
+		done := false
+		RunAllToAll(m, g, size, func() { done = true })
+		m.pump()
+		if !done {
+			return false
+		}
+		chunk := chunkSize(size, g)
+		if len(m.conns) != g*(g-1) {
+			return false
+		}
+		for _, c := range m.conns {
+			if len(c.sent) != 1 || c.sent[0] != chunk || c.delivered != chunk {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"themis/internal/lb"
+	"themis/internal/packet"
+	"themis/internal/topo"
+)
+
+// BuildPathMap constructs the §3.2 PathMap offline for one flow: n UDP
+// source-port deltas such that XOR-ing Δ_j into the flow's source port makes
+// downstream ECMP realize the j-th of n distinct equal-cost paths.
+//
+// The construction probes deltas in ascending order, walking the fabric with
+// the exact per-switch ECMP decision function (lb.ECMPIndex with
+// lb.SwitchSeed), and keeps the first delta that reaches each new path.
+// Because the ECMP hash is CRC32 — linear over GF(2) — and candidate fan-outs
+// are powers of two in Clos fabrics, the *change* each delta induces in
+// every hop's decision bits is independent of the flow's base port: one map
+// therefore serves a flow regardless of its base entropy, which is what lets
+// the paper precompute it offline ([37]).
+//
+// Each entry is 2 bytes, matching the §4 memory model (M_PathMap =
+// N_paths × 2 bytes).
+func BuildPathMap(t *topo.Topology, key packet.FlowKey, n int) ([]uint16, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: PathMap with %d paths", n)
+	}
+	pm := make([]uint16, 0, n)
+	seen := make(map[string]bool, n)
+	for delta := 0; delta <= 0xffff; delta++ {
+		k := key
+		k.SPort ^= uint16(delta)
+		sig := PathSignature(t, k)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		pm = append(pm, uint16(delta))
+		if len(pm) == n {
+			return pm, nil
+		}
+	}
+	return nil, fmt.Errorf("core: found only %d of %d paths probing all 65536 deltas", len(pm), n)
+}
+
+// PathSignature walks the fabric from the flow's source ToR to its
+// destination ToR, applying the same ECMP decision every switch would make,
+// and returns a string identifying the traversed switch/port sequence.
+func PathSignature(t *topo.Topology, key packet.FlowKey) string {
+	sw := t.ToROf(key.Src)
+	dstTor := t.ToROf(key.Dst)
+	sig := make([]byte, 0, 16)
+	for sw != dstTor {
+		cands := t.CandidatePorts(sw, key.Dst)
+		if len(cands) == 0 {
+			return string(append(sig, "!dead"...))
+		}
+		port := cands[lb.ECMPIndex(key, lb.TierSeed(t.Switch(sw).Tier), len(cands))]
+		sig = append(sig, byte(sw), byte(sw>>8), byte(port))
+		sw = t.Switch(sw).Ports[port].PeerSwitch
+	}
+	return string(sig)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/topo"
+)
+
+func fatTree(t *testing.T, k int) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewFatTree(topo.FatTreeConfig{
+		K:          k,
+		HostLink:   topo.LinkSpec{Bandwidth: 100e9, Delay: sim.Microsecond},
+		FabricLink: topo.LinkSpec{Bandwidth: 100e9, Delay: sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestBuildPathMapCrossPod(t *testing.T) {
+	tp := fatTree(t, 4)
+	key := packet.FlowKey{Src: 0, Dst: 15, SPort: 1000, DPort: 4791}
+	n := tp.PathCount(0, 15) // 4
+	pm, err := BuildPathMap(tp, key, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pm) != n {
+		t.Fatalf("pathmap size = %d", len(pm))
+	}
+	// Every delta yields a distinct path.
+	seen := map[string]bool{}
+	for _, d := range pm {
+		k := key
+		k.SPort ^= d
+		sig := PathSignature(tp, k)
+		if seen[sig] {
+			t.Fatalf("delta %d repeats a path", d)
+		}
+		seen[sig] = true
+	}
+}
+
+func TestBuildPathMapK8(t *testing.T) {
+	tp := fatTree(t, 8)
+	key := packet.FlowKey{Src: 0, Dst: 127, SPort: 4242, DPort: 4791}
+	n := tp.PathCount(0, 127) // 16
+	pm, err := BuildPathMap(tp, key, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pm) != 16 {
+		t.Fatalf("pathmap size = %d", len(pm))
+	}
+}
+
+// Hash linearity: a PathMap probed with one base sport yields distinct paths
+// for any other base sport of the same host pair.
+func TestPathMapBaseIndependence(t *testing.T) {
+	tp := fatTree(t, 4)
+	base := packet.FlowKey{Src: 0, Dst: 15, SPort: 1000, DPort: 4791}
+	n := tp.PathCount(0, 15)
+	pm, err := BuildPathMap(tp, base, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sport := range []uint16{0, 7, 999, 4791, 65535} {
+		other := base
+		other.SPort = sport
+		seen := map[string]bool{}
+		for _, d := range pm {
+			k := other
+			k.SPort ^= d
+			sig := PathSignature(tp, k)
+			if seen[sig] {
+				t.Fatalf("base sport %d: PathMap no longer distinct", sport)
+			}
+			seen[sig] = true
+		}
+	}
+}
+
+func TestPathMapLeafSpine(t *testing.T) {
+	tp := leafSpine(t, 4, 4, 2)
+	key := packet.FlowKey{Src: 0, Dst: 7, SPort: 1000, DPort: 4791}
+	pm, err := BuildPathMap(tp, key, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pm) != 4 {
+		t.Fatalf("pathmap size = %d", len(pm))
+	}
+}
+
+func TestBuildPathMapTooManyPaths(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	key := packet.FlowKey{Src: 0, Dst: 2, SPort: 1000, DPort: 4791}
+	if _, err := BuildPathMap(tp, key, 100); err == nil {
+		t.Fatal("expected error asking for more paths than exist")
+	}
+}
+
+func TestBuildPathMapBadN(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	key := packet.FlowKey{Src: 0, Dst: 2, SPort: 1000, DPort: 4791}
+	if _, err := BuildPathMap(tp, key, 0); err == nil {
+		t.Fatal("expected error for n = 0")
+	}
+}
+
+func TestPathSignatureSameRack(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	key := packet.FlowKey{Src: 0, Dst: 1, SPort: 1000, DPort: 4791}
+	if sig := PathSignature(tp, key); sig != "" {
+		t.Fatalf("same-ToR signature = %q, want empty", sig)
+	}
+}

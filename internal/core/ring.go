@@ -1,0 +1,125 @@
+// Package core implements Themis, the paper's contribution: a lightweight
+// middleware on ToR switches that makes packet spraying safe for commodity
+// RNICs.
+//
+//   - Themis-S (source ToR, §3.2) enforces the deterministic PSN-based
+//     spraying policy of Eq. 1 — either by picking the uplink directly
+//     (2-tier Clos) or by rewriting the UDP source port through an offline
+//     PathMap (multi-tier, exploiting ECMP hash linearity as in [37]).
+//
+//   - Themis-D (destination ToR, §3.3–3.4) caches the PSNs of in-flight
+//     last-hop packets in a per-QP ring queue of 1-byte truncated PSNs,
+//     identifies the OOO packet (tPSN) that triggered each NACK, validates
+//     the NACK with Eq. 3 (tPSN ≡ ePSN mod N means the expected packet truly
+//     shared the OOO packet's path and is lost), blocks invalid NACKs, and
+//     compensates blocked NACKs when later arrivals prove the loss real.
+//
+// The middleware plugs into the simulated switch through fabric.TorPipeline;
+// on real hardware the identical state machine targets a Tofino pipeline
+// within the §4 memory budget (see internal/memmodel).
+package core
+
+import "fmt"
+
+// seqAfter reports whether truncated PSN a is "after" b in the mod-256
+// sequence space, using a half-window comparison. It is correct as long as
+// in-flight last-hop packets span fewer than 128 PSNs — guaranteed because
+// the ring queue is sized to the last-hop BDP (§3.3), which is far below 128
+// packets for realistic links.
+func seqAfter(a, b uint8) bool {
+	d := a - b // wraps mod 256
+	return d != 0 && d < 128
+}
+
+// seqDelta returns the forward distance from b to a in mod-256 space.
+func seqDelta(a, b uint8) uint8 { return a - b }
+
+// psnRing is the paper's ring-based PSN queue: a FIFO of truncated (1-byte)
+// PSNs with fixed capacity. When full, the oldest entry is evicted — an
+// entry that old corresponds to a packet whose NACK window has long passed.
+type psnRing struct {
+	buf       []uint8
+	head      int // index of oldest entry
+	size      int
+	overflows uint64 // evictions due to a full ring
+}
+
+// newPSNRing returns a ring with the given capacity (minimum 1).
+func newPSNRing(capacity int) *psnRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &psnRing{buf: make([]uint8, capacity)}
+}
+
+// Len returns the number of queued entries.
+func (r *psnRing) Len() int { return r.size }
+
+// Cap returns the ring capacity.
+func (r *psnRing) Cap() int { return len(r.buf) }
+
+// Overflows returns how many entries were evicted because the ring was full.
+func (r *psnRing) Overflows() uint64 { return r.overflows }
+
+// Push enqueues a truncated PSN, evicting the oldest entry if full.
+func (r *psnRing) Push(psn uint8) {
+	if r.size == len(r.buf) {
+		r.head = (r.head + 1) % len(r.buf)
+		r.size--
+		r.overflows++
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = psn
+	r.size++
+}
+
+// Pop dequeues the oldest entry.
+func (r *psnRing) Pop() (uint8, bool) {
+	if r.size == 0 {
+		return 0, false
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v, true
+}
+
+// ScanFor dequeues entries until it finds the first PSN strictly after epsn
+// (mod-256 half-window order) — the paper's tPSN identification (§3.3). The
+// found entry is consumed too. ok is false if the ring drained without a
+// match.
+func (r *psnRing) ScanFor(epsn uint8) (tpsn uint8, ok bool) {
+	for {
+		v, got := r.Pop()
+		if !got {
+			return 0, false
+		}
+		if seqAfter(v, epsn) {
+			return v, true
+		}
+	}
+}
+
+// Contains reports whether psn is currently queued (non-consuming peek).
+// Themis-D uses it when blocking a NACK: if the NACK's ePSN is already in
+// the ring, the "missing" packet departed towards the NIC while the NACK was
+// in flight, so no compensation must be armed.
+func (r *psnRing) Contains(psn uint8) bool {
+	for i := 0; i < r.size; i++ {
+		if r.buf[(r.head+i)%len(r.buf)] == psn {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the ring oldest-first for debugging.
+func (r *psnRing) String() string {
+	out := "["
+	for i := 0; i < r.size; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprint(r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out + "]"
+}

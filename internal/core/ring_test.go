@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqAfter(t *testing.T) {
+	cases := []struct {
+		a, b uint8
+		want bool
+	}{
+		{1, 0, true},
+		{0, 0, false},
+		{0, 1, false},
+		{127, 0, true},
+		{128, 0, false}, // half window boundary
+		{0, 200, true},  // wraparound: 0 is after 200
+		{199, 200, false},
+		{255, 254, true},
+		{0, 255, true},
+	}
+	for _, c := range cases {
+		if got := seqAfter(c.a, c.b); got != c.want {
+			t.Errorf("seqAfter(%d,%d) = %v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSeqDelta(t *testing.T) {
+	if seqDelta(5, 3) != 2 {
+		t.Fatal("simple delta")
+	}
+	if seqDelta(1, 255) != 2 {
+		t.Fatal("wraparound delta")
+	}
+}
+
+// Property: within a half-window, truncation preserves order and distance.
+func TestSeqTruncationFaithfulProperty(t *testing.T) {
+	f := func(base uint32, fwd uint8) bool {
+		d := uint32(fwd % 128)
+		a, b := base+d, base
+		if d == 0 {
+			return !seqAfter(uint8(a), uint8(b))
+		}
+		return seqAfter(uint8(a), uint8(b)) && uint32(seqDelta(uint8(a), uint8(b))) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingPushPop(t *testing.T) {
+	r := newPSNRing(4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty")
+	}
+	for i := uint8(0); i < 4; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d", r.Len(), r.Cap())
+	}
+	for i := uint8(0); i < 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestRingEvictsOldestOnOverflow(t *testing.T) {
+	r := newPSNRing(3)
+	for i := uint8(0); i < 5; i++ {
+		r.Push(i)
+	}
+	if r.Overflows() != 2 {
+		t.Fatalf("overflows = %d", r.Overflows())
+	}
+	want := []uint8{2, 3, 4}
+	for _, w := range want {
+		v, _ := r.Pop()
+		if v != w {
+			t.Fatalf("got %d want %d", v, w)
+		}
+	}
+}
+
+func TestRingMinCapacity(t *testing.T) {
+	r := newPSNRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+}
+
+func TestRingScanForFig4b(t *testing.T) {
+	// Fig. 4b: arrival order 0,1,3,2 then NACK(ePSN=2) -> tPSN=3.
+	r := newPSNRing(8)
+	for _, p := range []uint8{0, 1, 3, 2} {
+		r.Push(p)
+	}
+	tpsn, ok := r.ScanFor(2)
+	if !ok || tpsn != 3 {
+		t.Fatalf("tPSN = %d,%v want 3", tpsn, ok)
+	}
+	// The scan consumed 0,1,3; entry 2 remains.
+	if r.Len() != 1 {
+		t.Fatalf("len after scan = %d", r.Len())
+	}
+	// Continue the figure: 6 arrives (4,5 delayed/lost), NACK(4) -> tPSN=6.
+	r.Push(6)
+	tpsn, ok = r.ScanFor(4)
+	if !ok || tpsn != 6 {
+		t.Fatalf("tPSN = %d,%v want 6", tpsn, ok)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRingScanMiss(t *testing.T) {
+	r := newPSNRing(8)
+	r.Push(1)
+	r.Push(2)
+	if _, ok := r.ScanFor(5); ok {
+		t.Fatal("scan should miss when no PSN is after ePSN")
+	}
+	if r.Len() != 0 {
+		t.Fatal("scan miss should drain the ring")
+	}
+}
+
+func TestRingScanWraparound(t *testing.T) {
+	r := newPSNRing(8)
+	// PSNs around the 8-bit wrap: 254, 255, 1 (0 delayed), ePSN=0.
+	for _, p := range []uint8{254, 255, 1} {
+		r.Push(p)
+	}
+	tpsn, ok := r.ScanFor(0)
+	if !ok || tpsn != 1 {
+		t.Fatalf("wraparound tPSN = %d,%v want 1", tpsn, ok)
+	}
+}
+
+func TestRingString(t *testing.T) {
+	r := newPSNRing(4)
+	r.Push(7)
+	r.Push(9)
+	if r.String() != "[7 9]" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+// Property: ScanFor returns the first pushed value after epsn, in push order.
+func TestRingScanFirstAfterProperty(t *testing.T) {
+	f := func(vals []uint8, epsn uint8) bool {
+		r := newPSNRing(256)
+		for _, v := range vals {
+			r.Push(v)
+		}
+		got, ok := r.ScanFor(epsn)
+		for _, v := range vals {
+			if seqAfter(v, epsn) {
+				return ok && got == v
+			}
+		}
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"themis/internal/lb"
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/topo"
+	"themis/internal/trace"
+)
+
+// SprayMode selects how Themis-S enforces the PSN-based spraying policy.
+type SprayMode int
+
+const (
+	// DirectSpray has the ToR pick the egress uplink from Eq. 1 directly.
+	// Valid when the ToR's uplink choice fully determines the path (2-tier
+	// Clos, §3.2 "Implementation limited to the ToR switch").
+	DirectSpray SprayMode = iota
+	// PathMapSpray rewrites the UDP source port through an offline PathMap
+	// so that downstream ECMP deterministically realizes path (PSN mod N)
+	// (multi-tier Clos, §3.2 / [37]). The fabric's data selector must be
+	// ECMP.
+	PathMapSpray
+)
+
+// String returns the mode mnemonic.
+func (m SprayMode) String() string {
+	switch m {
+	case DirectSpray:
+		return "direct"
+	case PathMapSpray:
+		return "pathmap"
+	default:
+		return fmt.Sprintf("SprayMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Themis instance (one per ToR switch).
+type Config struct {
+	// Mode selects the Themis-S mechanism (default DirectSpray).
+	Mode SprayMode
+	// QueueFactor is F, the PSN-queue capacity expansion factor over the
+	// last-hop BDP (§3.3/§4; default 1.5).
+	QueueFactor float64
+	// MTU is used for BDP-based queue sizing (default packet.DefaultMTU).
+	MTU int
+	// DisableBlocking turns off Themis-D NACK filtering (ablation: spraying
+	// alone, the paper's "direct combination" pathology).
+	DisableBlocking bool
+	// DisableCompensation turns off the §3.4 NACK compensation (ablation:
+	// blocked-but-real losses must wait for the sender's RTO).
+	DisableCompensation bool
+	// FallbackOnFailure makes the ToR disable Themis and revert to ECMP
+	// while any of its fabric links is down (§6).
+	FallbackOnFailure bool
+	// PathSubset, if positive, restricts each flow to this many of its N
+	// equal-cost paths (the §6 future-work extension). The subset is chosen
+	// per flow from P_base, so different flows cover different paths while
+	// each flow's Eq. 1/Eq. 3 arithmetic runs modulo the subset size. Must
+	// be configured identically on the source and destination ToRs of a
+	// flow (it is part of the connection-setup handshake in deployment).
+	PathSubset int
+	// Tracer, if non-nil, records middleware verdicts (spray, block,
+	// forward, compensate); see package trace. Requires Clock.
+	Tracer *trace.Tracer
+	// Clock supplies timestamps for trace events (normally the sim.Engine).
+	Clock interface{ Now() sim.Time }
+}
+
+// Stats counts Themis events on one ToR.
+type Stats struct {
+	Sprayed               uint64 // data packets steered by Themis-S
+	NacksSeen             uint64 // NACKs inspected by Themis-D
+	NacksForwarded        uint64 // valid NACKs passed through
+	NacksBlocked          uint64 // invalid NACKs blocked
+	Compensations         uint64 // compensation NACKs generated (§3.4)
+	CompensationCancelled uint64 // BePSN arrived: blocked NACK proven spurious
+	ScanMisses            uint64 // NACKs whose tPSN was not found in the ring
+	RingOverflows         uint64 // ring evictions (undersized queue)
+	Bypassed              uint64 // packets passed through while disabled (failure mode)
+}
+
+// flowState is the per-QP state of Table "FlowTable" in Fig. 4a: ring queue
+// metadata plus the blocked-ePSN/valid pair, and the spraying parameters.
+type flowState struct {
+	src, dst packet.NodeID
+	nPaths   int
+	flowHash uint32   // seeded ECMP hash at this ToR (P_base source)
+	pathMap  []uint16 // PathMapSpray: Δsport per path index (nil in direct mode)
+
+	ring *psnRing
+
+	// NACK-compensation fields (§3.4).
+	bepsn uint32
+	valid bool
+}
+
+// Themis is the middleware instance on one ToR switch. It implements
+// fabric.TorPipeline. A single instance plays both the Themis-S role (for
+// flows entering the fabric here) and the Themis-D role (for flows whose
+// receiver is attached here); per-QP state is registered explicitly, which
+// models the paper's connection-setup interception.
+type Themis struct {
+	topology *topo.Topology
+	swID     int
+	cfg      Config
+
+	// Themis-S state: flows sourced under this ToR.
+	srcFlows map[packet.QPID]*flowState
+	// Themis-D state: flows terminating under this ToR.
+	dstFlows map[packet.QPID]*flowState
+
+	downPorts int
+	disabled  bool // explicit or failure-driven disable
+
+	stats Stats
+}
+
+// New creates the Themis instance for ToR switch swID. Install it with
+// fabric.Network.SetTorPipeline.
+func New(t *topo.Topology, swID int, cfg Config) *Themis {
+	if cfg.QueueFactor == 0 {
+		cfg.QueueFactor = 1.5
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = packet.DefaultMTU
+	}
+	return &Themis{
+		topology: t,
+		swID:     swID,
+		cfg:      cfg,
+		srcFlows: make(map[packet.QPID]*flowState),
+		dstFlows: make(map[packet.QPID]*flowState),
+	}
+}
+
+// Stats returns a snapshot of this instance's counters.
+func (th *Themis) Stats() Stats { return th.stats }
+
+// SwitchID returns the ToR this instance runs on.
+func (th *Themis) SwitchID() int { return th.swID }
+
+// Disabled reports whether Themis is currently bypassing itself.
+func (th *Themis) Disabled() bool { return th.disabled }
+
+// SetDisabled forces the bypass state (used by operators and tests; the §6
+// failure path sets it automatically when FallbackOnFailure is on).
+func (th *Themis) SetDisabled(v bool) { th.disabled = v }
+
+// RegisterFlow announces a QP to this ToR — the simulation analogue of the
+// paper's RNIC-handshake interception. It must be called on the source ToR
+// (Themis-S role) and the destination ToR (Themis-D role); calling it on a
+// switch that is neither is a no-op. Same-rack flows (a single path) are
+// ignored: Themis only operates on cross-rack QPs (§4).
+func (th *Themis) RegisterFlow(qp packet.QPID, src, dst packet.NodeID, sport uint16) error {
+	if th.topology.ToROf(src) == th.topology.ToROf(dst) {
+		return nil
+	}
+	full := th.topology.PathCount(src, dst)
+	if full < 2 {
+		return nil
+	}
+	n := full
+	if th.cfg.PathSubset > 0 && th.cfg.PathSubset < n {
+		// §6 extension: spray over a flow-specific subset of the paths.
+		n = th.cfg.PathSubset
+	}
+	key := packet.FlowKey{Src: src, Dst: dst, SPort: sport, DPort: 4791}
+	fs := &flowState{
+		src:      src,
+		dst:      dst,
+		nPaths:   n,
+		flowHash: lb.Hash(key) ^ lb.SwitchSeed(th.swID),
+	}
+	switch {
+	case th.topology.ToROf(src) == th.swID:
+		if th.cfg.Mode == PathMapSpray {
+			pm, err := BuildPathMap(th.topology, key, n)
+			if err != nil {
+				return fmt.Errorf("core: building PathMap for qp %d: %w", qp, err)
+			}
+			fs.pathMap = pm
+		} else {
+			// Direct mode requires the ToR uplink choice to determine the
+			// whole path: the number of uplink candidates must equal the
+			// full path count (the subset is carved out of them at spray
+			// time).
+			cands := th.topology.CandidatePorts(th.swID, dst)
+			if len(cands) != full {
+				return fmt.Errorf("core: direct spray needs one uplink per path (have %d uplinks, %d paths); use PathMapSpray", len(cands), full)
+			}
+		}
+		th.srcFlows[qp] = fs
+	case th.topology.ToROf(dst) == th.swID:
+		fs.ring = newPSNRing(th.ringCapacity(dst))
+		th.dstFlows[qp] = fs
+	}
+	return nil
+}
+
+// ringCapacity sizes the per-QP PSN queue from the last-hop BDP (§3.3):
+// slightly more than BDP/MTU, scaled by the expansion factor F.
+func (th *Themis) ringCapacity(dst packet.NodeID) int {
+	a := th.topology.HostAttach(dst)
+	rtt := 2 * a.Delay // last-hop round trip
+	bdpBytes := float64(a.Bandwidth) / 8 * rtt.Seconds()
+	entries := int(math.Ceil(bdpBytes / float64(th.cfg.MTU) * th.cfg.QueueFactor))
+	if entries < 1 {
+		entries = 1
+	}
+	return entries
+}
+
+// --- fabric.TorPipeline implementation ---
+
+// SelectUplink implements Themis-S: Eq. 1 steering of data packets.
+func (th *Themis) SelectUplink(pkt *packet.Packet, cands []int) (int, bool) {
+	fs, ok := th.srcFlows[pkt.QP]
+	if !ok {
+		return 0, false
+	}
+	if th.disabled {
+		th.stats.Bypassed++
+		return 0, false // ECMP fallback (§6)
+	}
+	th.stats.Sprayed++
+	th.trace(trace.Spray, pkt)
+	if fs.pathMap != nil {
+		// Multi-tier: rewrite the entropy field; downstream ECMP realizes
+		// the deterministic path for PSN mod N.
+		j := int(pkt.PSN % uint32(fs.nPaths))
+		pkt.SPort ^= fs.pathMap[j]
+		return 0, false
+	}
+	// 2-tier: pick the uplink directly. The flow's P_base is spread over
+	// all uplinks; the flow then cycles through nPaths consecutive ones
+	// (nPaths < len(cands) only under the PathSubset extension).
+	base := lb.Index(fs.flowHash, len(cands))
+	idx := (base + int(pkt.PSN%uint32(fs.nPaths))) % len(cands)
+	return cands[idx], true
+}
+
+// OnDeliverToHost implements the Themis-D last-hop observation point: it
+// records the PSN in the ring queue (§3.3) and runs the compensation state
+// machine (§3.4). Returned packets are compensation NACKs the fabric routes
+// back to the sender.
+func (th *Themis) OnDeliverToHost(pkt *packet.Packet) []*packet.Packet {
+	fs, ok := th.dstFlows[pkt.QP]
+	if !ok || th.disabled {
+		return nil
+	}
+	var out []*packet.Packet
+	if fs.valid && !th.cfg.DisableCompensation {
+		switch {
+		case pkt.PSN == fs.bepsn:
+			// The blocked NACK's packet arrived after all: no loss.
+			fs.valid = false
+			th.stats.CompensationCancelled++
+		case pkt.PSN > fs.bepsn && pkt.PSN%uint32(fs.nPaths) == fs.bepsn%uint32(fs.nPaths):
+			// A later packet on the same path arrived: the BePSN packet is
+			// confirmed lost. Generate the NACK the RNIC cannot (§3.4).
+			fs.valid = false
+			th.stats.Compensations++
+			th.trace(trace.Compensate, pkt)
+			out = append(out, &packet.Packet{
+				Kind:  packet.Nack,
+				Src:   fs.dst,
+				Dst:   fs.src,
+				QP:    pkt.QP,
+				SPort: pkt.SPort,
+				DPort: 4791,
+				PSN:   fs.bepsn,
+			})
+		}
+	}
+	fs.ring.Push(uint8(pkt.PSN))
+	th.stats.RingOverflows = th.ringOverflowTotal()
+	return out
+}
+
+func (th *Themis) ringOverflowTotal() uint64 {
+	var n uint64
+	for _, fs := range th.dstFlows {
+		n += fs.ring.Overflows()
+	}
+	return n
+}
+
+// FilterHostControl implements Themis-D NACK validation (§3.3): identify the
+// tPSN from the ring queue, apply Eq. 3, forward valid NACKs and block
+// invalid ones (recording BePSN for compensation).
+func (th *Themis) FilterHostControl(pkt *packet.Packet) bool {
+	if pkt.Kind != packet.Nack {
+		return true
+	}
+	fs, ok := th.dstFlows[pkt.QP]
+	if !ok || th.disabled || th.cfg.DisableBlocking {
+		return true
+	}
+	th.stats.NacksSeen++
+	tpsn, found := fs.ring.ScanFor(uint8(pkt.PSN))
+	if !found {
+		// No in-flight PSN after the ePSN: the trigger left the window.
+		// Forward conservatively — a spurious retransmission is cheaper
+		// than a lost valid NACK.
+		th.stats.ScanMisses++
+		th.stats.NacksForwarded++
+		return true
+	}
+	// Eq. 3 via the truncated delta: paths match iff (tPSN-ePSN) ≡ 0 mod N.
+	// The delta is exact because the in-flight window is < 128 PSNs.
+	delta := seqDelta(tpsn, uint8(pkt.PSN))
+	if int(delta)%fs.nPaths == 0 {
+		th.stats.NacksForwarded++
+		th.trace(trace.NackForwarded, pkt)
+		return true
+	}
+	// Invalid: block, arm compensation (§3.4) — unless the expected packet
+	// already departed towards the NIC while this NACK was in flight (it
+	// sits behind the trigger in the ring), in which case nothing was lost
+	// and no compensation may ever fire.
+	th.stats.NacksBlocked++
+	th.trace(trace.NackBlocked, pkt)
+	if fs.ring.Contains(uint8(pkt.PSN)) {
+		th.stats.CompensationCancelled++
+		fs.valid = false
+		return false
+	}
+	fs.bepsn = pkt.PSN
+	fs.valid = true
+	return false
+}
+
+// trace records a middleware event when tracing is configured.
+func (th *Themis) trace(op trace.Op, pkt *packet.Packet) {
+	if th.cfg.Tracer == nil || th.cfg.Clock == nil {
+		return
+	}
+	th.cfg.Tracer.RecordPacket(th.cfg.Clock.Now(), op, th.swID, -1, pkt)
+}
+
+// LinkStateChanged implements the §6 failure response: when any of this
+// ToR's fabric links is down, Themis disables itself and the switch reverts
+// to its configured (ECMP) selector.
+func (th *Themis) LinkStateChanged(port int, up bool) {
+	if up {
+		th.downPorts--
+	} else {
+		th.downPorts++
+	}
+	if th.cfg.FallbackOnFailure {
+		th.disabled = th.downPorts > 0
+	}
+}

@@ -1,0 +1,270 @@
+// Package fabric is the switch dataplane of the simulator. It turns a static
+// topo.Topology into a running network on a sim.Engine: output-queued
+// switches with a shared buffer, RED/ECN marking, per-port store-and-forward
+// serialization, propagation delays, link failures and injected loss.
+//
+// ToR switches expose a TorPipeline hook — the deployment point of Themis
+// (§3.1: both Themis-S and Themis-D live only on ToR switches). The hook can
+// steer data packets entering the fabric (Themis-S packet spraying), observe
+// data packets leaving towards a host (Themis-D PSN queue + NACK
+// compensation) and filter control packets arriving from a host (Themis-D
+// NACK blocking).
+package fabric
+
+import (
+	"fmt"
+
+	"themis/internal/lb"
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/topo"
+	"themis/internal/trace"
+)
+
+// ECNConfig is RED-style marking applied to data packets at egress queues,
+// as DCQCN requires.
+type ECNConfig struct {
+	Enabled   bool
+	KminBytes int     // below: never mark
+	KmaxBytes int     // above: always mark
+	PMax      float64 // marking probability at Kmax
+}
+
+// DefaultECN returns the common DCQCN marking profile scaled to a link rate:
+// Kmin ≈ 100 KB and Kmax ≈ 400 KB at 100 Gbps, scaled linearly.
+func DefaultECN(linkBps int64) ECNConfig {
+	scale := float64(linkBps) / 100e9
+	return ECNConfig{
+		Enabled:   true,
+		KminBytes: int(100e3 * scale),
+		KmaxBytes: int(400e3 * scale),
+		PMax:      0.2,
+	}
+}
+
+// TorPipeline is the programmable-ToR hook (the Themis deployment surface).
+// All methods are invoked synchronously on the simulation goroutine.
+type TorPipeline interface {
+	// SelectUplink is consulted for data packets that enter the fabric at
+	// this ToR from a locally attached host and need an uplink. cands is the
+	// equal-cost port set (ascending). Return (port, true) to force a port,
+	// or false to defer to the switch's configured selector (e.g. after the
+	// pipeline has rewritten the packet's UDP source port).
+	SelectUplink(pkt *packet.Packet, cands []int) (int, bool)
+	// OnDeliverToHost observes a data packet at the moment it is enqueued on
+	// the ToR→host port (the paper's "before they leave the ToR switch",
+	// §3.3). Returned packets (e.g. compensation NACKs) are injected into
+	// this switch and routed normally toward their destinations.
+	OnDeliverToHost(pkt *packet.Packet) []*packet.Packet
+	// FilterHostControl is called for every ACK/NACK arriving at this ToR
+	// from an attached host. Returning false blocks (drops) the packet.
+	FilterHostControl(pkt *packet.Packet) bool
+	// LinkStateChanged notifies the pipeline that one of this ToR's fabric
+	// links changed state (the §6 failure-tolerance hook).
+	LinkStateChanged(port int, up bool)
+}
+
+// Config parameterizes the dataplane.
+type Config struct {
+	// BufferBytes is the shared packet buffer per switch; data packets that
+	// would exceed it are dropped. Zero means unlimited.
+	BufferBytes int
+	// ECN is the marking profile for data packets.
+	ECN ECNConfig
+	// NewDataSelector constructs the per-switch selector for data packets.
+	// A factory (not a shared instance) because some selectors (flowlet)
+	// carry per-switch state. Defaults to ECMP.
+	NewDataSelector func() lb.Selector
+	// NewCtrlSelector constructs the per-switch selector for control
+	// packets. Defaults to ECMP.
+	NewCtrlSelector func() lb.Selector
+	// LossFunc, if set, is consulted at every switch egress enqueue of a
+	// data packet; returning true drops the packet (fault injection).
+	LossFunc func(pkt *packet.Packet, sw, port int) bool
+	// ControlLossless exempts ACK/NACK/CNP from buffer accounting and drops,
+	// modeling their strict priority in RoCE deployments. Default true via
+	// NewNetwork.
+	ControlLossless bool
+	// Tracer, if non-nil, records packet life-cycle events (see package
+	// trace). Nil disables tracing at negligible cost.
+	Tracer *trace.Tracer
+	// PFC enables per-ingress Priority Flow Control for the data class.
+	PFC PFCConfig
+}
+
+// Counters aggregates network-wide statistics.
+type Counters struct {
+	Delivered   uint64 // packets handed to host receivers
+	DataDrops   uint64 // data packets dropped (buffer overflow or LossFunc)
+	CtrlDrops   uint64 // control packets dropped (only if !ControlLossless)
+	EcnMarks    uint64 // CE marks applied
+	Blocked     uint64 // control packets blocked by a ToR pipeline
+	Compensated uint64 // packets injected by ToR pipelines (compensation NACKs)
+	LinkDrops   uint64 // packets dropped on failed links
+}
+
+// Network is the running dataplane.
+type Network struct {
+	engine   *sim.Engine
+	topology *topo.Topology
+	cfg      Config
+
+	switches []*swInst
+	hostRecv []func(*packet.Packet)
+	hostUp   []*outQueue // host→ToR serializers, indexed by host
+
+	// routeOverlay is the failure-aware candidate table (nil when every
+	// link is up).
+	routeOverlay [][][]int
+
+	counters Counters
+	seqNo    uint64
+}
+
+// NewNetwork builds the dataplane for a topology. Hosts start detached;
+// packets to a detached host are delivered to a no-op sink.
+func NewNetwork(engine *sim.Engine, t *topo.Topology, cfg Config) *Network {
+	if cfg.NewDataSelector == nil {
+		cfg.NewDataSelector = func() lb.Selector { return lb.ECMP{} }
+	}
+	if cfg.NewCtrlSelector == nil {
+		cfg.NewCtrlSelector = func() lb.Selector { return lb.ECMP{} }
+	}
+	n := &Network{
+		engine:   engine,
+		topology: t,
+		cfg:      cfg,
+		hostRecv: make([]func(*packet.Packet), t.NumHosts()),
+		hostUp:   make([]*outQueue, t.NumHosts()),
+	}
+	n.switches = make([]*swInst, t.NumSwitches())
+	for _, sw := range t.Switches() {
+		n.switches[sw.ID] = newSwInst(n, sw)
+	}
+	for h := 0; h < t.NumHosts(); h++ {
+		a := t.HostAttach(packet.NodeID(h))
+		sw := n.switches[a.Switch]
+		inPort := a.Port
+		n.hostUp[h] = &outQueue{
+			net:   n,
+			bw:    a.Bandwidth,
+			delay: a.Delay,
+			name:  fmt.Sprintf("host%d-up", h),
+			deliver: func(p *packet.Packet) {
+				sw.receive(p, inPort)
+			},
+		}
+	}
+	return n
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Topology returns the static topology.
+func (n *Network) Topology() *topo.Topology { return n.topology }
+
+// Counters returns a snapshot of network-wide counters.
+func (n *Network) Counters() Counters { return n.counters }
+
+// AttachHost registers the receive callback of host h.
+func (n *Network) AttachHost(h packet.NodeID, recv func(*packet.Packet)) {
+	n.hostRecv[h] = recv
+}
+
+// SetTorPipeline installs a TorPipeline on switch sw (must host at least one
+// host port to ever see pipeline events).
+func (n *Network) SetTorPipeline(sw int, p TorPipeline) {
+	n.switches[sw].pipeline = p
+}
+
+// SetLossFunc installs (or replaces) the loss-injection hook after
+// construction; see Config.LossFunc.
+func (n *Network) SetLossFunc(f func(pkt *packet.Packet, sw, port int) bool) {
+	n.cfg.LossFunc = f
+}
+
+// Inject transmits pkt from host h over its access link. The packet is
+// stamped with a global sequence number for tracing.
+func (n *Network) Inject(h packet.NodeID, pkt *packet.Packet) {
+	n.seqNo++
+	pkt.SeqNo = n.seqNo
+	n.cfg.Tracer.RecordPacket(n.engine.Now(), trace.HostTx, -1, -1, pkt)
+	n.hostUp[h].enqueue(pkt)
+}
+
+// HostUplinkBytes returns the queued bytes on host h's access link,
+// giving transports visibility into local backlog (used by tests).
+func (n *Network) HostUplinkBytes(h packet.NodeID) int { return n.hostUp[h].bytes }
+
+// SwitchCounters returns per-switch (drops, marks) counters.
+func (n *Network) SwitchCounters(sw int) (dataDrops, ecnMarks uint64) {
+	s := n.switches[sw]
+	return s.dataDrops, s.ecnMarks
+}
+
+// QueueBytes returns the egress queue depth of a switch port.
+func (n *Network) QueueBytes(sw, port int) int {
+	return n.switches[sw].ports[port].bytes
+}
+
+// PortTxStats returns the packets and bytes transmitted by a switch port.
+func (n *Network) PortTxStats(sw, port int) (pkts, bytes uint64) {
+	q := n.switches[sw].ports[port]
+	return q.txPackets, q.txBytes
+}
+
+// SetLinkState brings the link at (sw, port) up or down. Both directions of
+// the link change state, packets already queued on a downed port are dropped
+// as they reach the head of the queue, ToR pipelines are notified, and the
+// fabric's routing reconverges: candidate sets everywhere exclude paths
+// through failed links (as a routing protocol would after detection).
+func (n *Network) SetLinkState(sw, port int, up bool) {
+	s := n.switches[sw]
+	p := &s.sw.Ports[port]
+	if p.IsHostPort() {
+		panic("fabric: SetLinkState on a host port")
+	}
+	s.setPortState(port, up)
+	peer := n.switches[p.PeerSwitch]
+	peer.setPortState(p.PeerPort, up)
+	n.recomputeRoutes()
+}
+
+// recomputeRoutes rebuilds the failure-aware candidate overlay.
+func (n *Network) recomputeRoutes() {
+	anyDown := false
+	for _, s := range n.switches {
+		if s.anyDown {
+			anyDown = true
+			break
+		}
+	}
+	if !anyDown {
+		n.routeOverlay = nil
+		return
+	}
+	n.routeOverlay = n.topology.RoutesWithFilter(func(sw, port int) bool {
+		return n.switches[sw].portUp[port]
+	})
+}
+
+// candidatePorts returns the (failure-aware) equal-cost egress set at sw for
+// dst.
+func (n *Network) candidatePorts(sw int, dst packet.NodeID) []int {
+	if n.routeOverlay == nil {
+		return n.topology.CandidatePorts(sw, dst)
+	}
+	if _, ok := n.switches[sw].sw.HostPort(dst); ok {
+		return n.topology.CandidatePorts(sw, dst) // host ports never fail here
+	}
+	return n.routeOverlay[sw][n.topology.ToROf(dst)]
+}
+
+func (n *Network) deliverToHost(h packet.NodeID, pkt *packet.Packet) {
+	n.counters.Delivered++
+	n.cfg.Tracer.RecordPacket(n.engine.Now(), trace.Deliver, -1, -1, pkt)
+	if recv := n.hostRecv[h]; recv != nil {
+		recv(pkt)
+	}
+}

@@ -1,0 +1,130 @@
+package fabric
+
+import (
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+// outQueue is one egress serializer: two FIFOs (a strict-priority control
+// class for ACK/NACK/CNP and a data class) draining at the link rate,
+// followed by the link's propagation delay. RoCE deployments carry control
+// in a separate high-priority traffic class so acknowledgments never sit
+// behind bulk data — the NACK return latency this preserves is exactly what
+// sizes Themis-D's PSN ring (§3.3). PFC pause applies to the data class
+// only. outQueue is used for every switch port and for each host's access
+// link.
+type outQueue struct {
+	net        *Network
+	sw         *swInst // owning switch; nil for host uplink serializers
+	port       int     // port index on sw (meaningless when sw == nil)
+	isHostPort bool    // this egress faces a host (ToR last hop)
+	bw         int64
+	delay      sim.Duration
+	name       string
+	deliver    func(*packet.Packet)
+
+	q     []*packet.Packet // data class FIFO
+	head  int
+	cq    []*packet.Packet // control class FIFO (strict priority)
+	chead int
+
+	bytes  int // queued data-class bytes (LB and ECN look at this)
+	busy   bool
+	paused bool // PFC pause asserted by the downstream ingress (data only)
+
+	txPackets uint64
+	txBytes   uint64
+}
+
+// enqueue appends pkt to its class and starts the serializer if possible.
+func (q *outQueue) enqueue(pkt *packet.Packet) {
+	if pkt.Kind.IsControl() {
+		q.cq = append(q.cq, pkt)
+	} else {
+		q.q = append(q.q, pkt)
+		q.bytes += pkt.Size()
+	}
+	if !q.busy {
+		q.maybeStart()
+	}
+}
+
+// next dequeues the next transmittable packet: control first, then data
+// unless PFC-paused.
+func (q *outQueue) next() *packet.Packet {
+	if q.chead < len(q.cq) {
+		pkt := q.cq[q.chead]
+		q.cq[q.chead] = nil
+		q.chead++
+		if q.chead > 64 && q.chead*2 >= len(q.cq) {
+			n := copy(q.cq, q.cq[q.chead:])
+			q.cq = q.cq[:n]
+			q.chead = 0
+		}
+		return pkt
+	}
+	if q.paused || q.head >= len(q.q) {
+		return nil
+	}
+	pkt := q.q[q.head]
+	q.q[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.q) {
+		n := copy(q.q, q.q[q.head:])
+		q.q = q.q[:n]
+		q.head = 0
+	}
+	q.bytes -= pkt.Size()
+	return pkt
+}
+
+// maybeStart begins serializing the next eligible packet, if any.
+func (q *outQueue) maybeStart() {
+	pkt := q.next()
+	if pkt == nil {
+		return
+	}
+	q.busy = true
+	// Themis-D hook: a data packet leaving a ToR towards its host (§3.3
+	// "before they leave the ToR switch"). Compensation NACKs are injected
+	// into the switch and routed normally.
+	if q.sw != nil && pkt.Kind == packet.Data && q.sw.pipeline != nil && q.isHostPort {
+		for _, extra := range q.sw.pipeline.OnDeliverToHost(pkt) {
+			q.net.counters.Compensated++
+			q.sw.receive(extra, -1)
+		}
+	}
+	ser := sim.TransmitTime(pkt.Size(), q.bw)
+	q.net.engine.Schedule(ser, func() { q.txDone(pkt) })
+}
+
+// txDone fires when the last bit of pkt leaves the port: buffer space is
+// released, the packet propagates (unless the link failed mid-flight), and
+// the next packet starts.
+func (q *outQueue) txDone(pkt *packet.Packet) {
+	q.txPackets++
+	q.txBytes += uint64(pkt.Size())
+	if q.sw != nil {
+		q.sw.release(pkt)
+	}
+	if q.sw != nil && !q.sw.portUp[q.port] {
+		q.net.counters.LinkDrops++
+	} else if q.delay > 0 {
+		q.net.engine.Schedule(q.delay, func() { q.deliver(pkt) })
+	} else {
+		q.deliver(pkt)
+	}
+	q.busy = false
+	q.maybeStart()
+}
+
+// setPaused gates the data class. Resuming kicks the queue.
+func (q *outQueue) setPaused(pause bool) {
+	if q.paused == pause {
+		return
+	}
+	q.paused = pause
+	if !pause && !q.busy {
+		q.maybeStart()
+	}
+}

@@ -1,0 +1,230 @@
+package fabric
+
+import (
+	"math/rand"
+
+	"themis/internal/lb"
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/topo"
+	"themis/internal/trace"
+)
+
+// swInst is a running switch: the topo.Switch plus egress queues, selectors
+// and counters. It implements lb.Context for its selectors.
+type swInst struct {
+	net      *Network
+	sw       *topo.Switch
+	ports    []*outQueue
+	portUp   []bool
+	anyDown  bool
+	bufUsed  int
+	dataSel  lb.Selector
+	ctrlSel  lb.Selector
+	pipeline TorPipeline
+
+	dataDrops uint64
+	ecnMarks  uint64
+
+	// pfc holds per-ingress pause state (nil when PFC is disabled).
+	pfc *pfcState
+
+	// candScratch is reused when filtering candidates under link failure.
+	candScratch []int
+}
+
+func newSwInst(n *Network, sw *topo.Switch) *swInst {
+	s := &swInst{
+		net:     n,
+		sw:      sw,
+		dataSel: n.cfg.NewDataSelector(),
+		ctrlSel: n.cfg.NewCtrlSelector(),
+		portUp:  make([]bool, len(sw.Ports)),
+	}
+	if n.cfg.PFC.Enabled {
+		s.pfc = newPFCState(len(sw.Ports))
+	}
+	s.ports = make([]*outQueue, len(sw.Ports))
+	for pi := range sw.Ports {
+		p := &sw.Ports[pi]
+		s.portUp[pi] = true
+		q := &outQueue{
+			net:        n,
+			bw:         p.Bandwidth,
+			delay:      p.Delay,
+			sw:         s,
+			port:       pi,
+			isHostPort: p.IsHostPort(),
+		}
+		if p.IsHostPort() {
+			host := p.Host
+			q.deliver = func(pkt *packet.Packet) { n.deliverToHost(host, pkt) }
+		} else {
+			peer := p.PeerSwitch
+			peerPort := p.PeerPort
+			q.deliver = func(pkt *packet.Packet) { n.switches[peer].receive(pkt, peerPort) }
+		}
+		s.ports[pi] = q
+	}
+	return s
+}
+
+// lb.Context implementation.
+func (s *swInst) Now() sim.Time           { return s.net.engine.Now() }
+func (s *swInst) QueueBytes(port int) int { return s.ports[port].bytes }
+func (s *swInst) Rand() *rand.Rand        { return s.net.engine.Rand() }
+func (s *swInst) Seed() uint32            { return lb.TierSeed(s.sw.Tier) }
+
+// receive handles a packet arriving on inPort (or injected by the pipeline
+// with inPort == -1).
+func (s *swInst) receive(pkt *packet.Packet, inPort int) {
+	// Local delivery: the destination hangs off this switch. The Themis-D
+	// observation point is the moment the packet leaves the ToR towards the
+	// host (outQueue.startNext), not here: under congestion the ToR→host
+	// queue adds arbitrary delay, and recording PSNs at departure keeps the
+	// ring queue window equal to the true last-hop RTT (§3.3).
+	if hp, ok := s.sw.HostPort(pkt.Dst); ok {
+		s.enqueue(pkt, hp, inPort)
+		return
+	}
+
+	cands := s.net.candidatePorts(s.sw.ID, pkt.Dst)
+	if len(cands) == 0 {
+		// No surviving path (partitioned fabric).
+		s.drop(pkt)
+		s.net.counters.LinkDrops++
+		return
+	}
+	if s.anyDown {
+		cands = s.filterUp(cands)
+		if len(cands) == 0 {
+			s.drop(pkt)
+			s.net.counters.LinkDrops++
+			return
+		}
+	}
+
+	fromHost := inPort >= 0 && s.sw.Ports[inPort].IsHostPort()
+	if s.pipeline != nil && fromHost {
+		if pkt.Kind.IsControl() {
+			if !s.pipeline.FilterHostControl(pkt) {
+				s.net.counters.Blocked++
+				s.free(pkt)
+				return
+			}
+		} else if port, ok := s.pipeline.SelectUplink(pkt, cands); ok {
+			s.enqueue(pkt, port, inPort)
+			return
+		}
+	}
+
+	sel := s.dataSel
+	if pkt.Kind.IsControl() {
+		sel = s.ctrlSel
+	}
+	s.enqueue(pkt, sel.Select(pkt, cands, s), inPort)
+}
+
+// filterUp returns the subset of cands whose links are up, reusing scratch.
+func (s *swInst) filterUp(cands []int) []int {
+	s.candScratch = s.candScratch[:0]
+	for _, c := range cands {
+		if s.portUp[c] {
+			s.candScratch = append(s.candScratch, c)
+		}
+	}
+	return s.candScratch
+}
+
+// enqueue places pkt on the egress queue of port, applying loss injection,
+// buffer admission, ECN marking and PFC ingress accounting.
+func (s *swInst) enqueue(pkt *packet.Packet, port, inPort int) {
+	q := s.ports[port]
+	isCtrl := pkt.Kind.IsControl()
+	lossless := isCtrl && s.net.cfg.ControlLossless
+
+	if !isCtrl && s.net.cfg.LossFunc != nil && s.net.cfg.LossFunc(pkt, s.sw.ID, port) {
+		s.drop(pkt)
+		return
+	}
+	if !lossless {
+		limit := s.net.cfg.BufferBytes
+		if limit > 0 && s.bufUsed+pkt.Size() > limit {
+			if isCtrl {
+				s.net.counters.CtrlDrops++
+				s.free(pkt)
+			} else {
+				s.drop(pkt)
+			}
+			return
+		}
+		s.bufUsed += pkt.Size()
+		pkt.Buffered = true
+	}
+	if !isCtrl && s.net.cfg.ECN.Enabled && s.shouldMark(q.bytes) {
+		if !pkt.ECN {
+			s.ecnMarks++
+			s.net.counters.EcnMarks++
+			s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.Mark, s.sw.ID, port, pkt)
+		}
+		pkt.ECN = true
+	}
+	s.accountIngress(pkt, inPort)
+	s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.SwEnq, s.sw.ID, port, pkt)
+	q.enqueue(pkt)
+}
+
+// shouldMark applies the RED profile to the pre-enqueue queue depth.
+func (s *swInst) shouldMark(qBytes int) bool {
+	e := &s.net.cfg.ECN
+	switch {
+	case qBytes <= e.KminBytes:
+		return false
+	case qBytes >= e.KmaxBytes:
+		return true
+	default:
+		p := e.PMax * float64(qBytes-e.KminBytes) / float64(e.KmaxBytes-e.KminBytes)
+		return s.net.engine.Rand().Float64() < p
+	}
+}
+
+// release returns buffer space and PFC ingress accounting when a packet
+// leaves (transmitted or dropped at the head of a failed link).
+func (s *swInst) release(pkt *packet.Packet) {
+	if pkt.Buffered {
+		s.bufUsed -= pkt.Size()
+		pkt.Buffered = false
+	}
+	s.releaseIngress(pkt)
+}
+
+func (s *swInst) drop(pkt *packet.Packet) {
+	s.dataDrops++
+	s.net.counters.DataDrops++
+	s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.Drop, s.sw.ID, -1, pkt)
+	s.free(pkt)
+}
+
+func (s *swInst) free(pkt *packet.Packet) {
+	// Packets are garbage-collected; a pool hookup would go here. Keeping
+	// the indirection lets transports retain references (retransmit copies
+	// are separate packets).
+	_ = pkt
+}
+
+func (s *swInst) setPortState(port int, up bool) {
+	if s.portUp[port] == up {
+		return
+	}
+	s.portUp[port] = up
+	s.anyDown = false
+	for _, u := range s.portUp {
+		if !u {
+			s.anyDown = true
+			break
+		}
+	}
+	if s.pipeline != nil {
+		s.pipeline.LinkStateChanged(port, up)
+	}
+}

@@ -1,0 +1,65 @@
+package lb
+
+import (
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+// Flowlet implements flowlet switching [10, 23, 36]: a flow keeps its current
+// path while packets arrive back-to-back, and may be re-balanced onto the
+// least-loaded path whenever an inter-packet gap exceeds Gap (the flowlet
+// timeout). Because commodity RNICs pace at line rate in hardware, real RDMA
+// flows essentially never expose gaps larger than a sensible timeout, so the
+// policy degenerates to flow-level balancing — the incompatibility §2.3
+// describes; the Fig. 5 ablation reproduces that collapse.
+type Flowlet struct {
+	// Gap is the idle interval after which a flow may switch paths.
+	Gap sim.Duration
+	// table tracks the last-seen time and current port per flow.
+	table map[packet.FlowKey]*flowletEntry
+}
+
+type flowletEntry struct {
+	last sim.Time
+	port int
+}
+
+// NewFlowlet returns a flowlet selector with the given gap.
+func NewFlowlet(gap sim.Duration) *Flowlet {
+	if gap <= 0 {
+		panic("lb: flowlet gap must be positive")
+	}
+	return &Flowlet{Gap: gap, table: make(map[packet.FlowKey]*flowletEntry)}
+}
+
+// Select implements Selector.
+func (f *Flowlet) Select(pkt *packet.Packet, cands []int, ctx Context) int {
+	key := pkt.Key()
+	now := ctx.Now()
+	e, ok := f.table[key]
+	if !ok {
+		e = &flowletEntry{port: Adaptive{}.Select(pkt, cands, ctx)}
+		f.table[key] = e
+	} else if now.Sub(e.last) > f.Gap || !contains(cands, e.port) {
+		// New flowlet (or the cached port is no longer a valid candidate,
+		// e.g. after a link failure): re-balance.
+		e.port = Adaptive{}.Select(pkt, cands, ctx)
+	}
+	e.last = now
+	return e.port
+}
+
+// Name implements Selector.
+func (f *Flowlet) Name() string { return "flowlet" }
+
+// Entries returns the number of tracked flows (state-size accounting).
+func (f *Flowlet) Entries() int { return len(f.table) }
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

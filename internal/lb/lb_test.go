@@ -1,0 +1,337 @@
+package lb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+// fakeCtx implements Context for tests.
+type fakeCtx struct {
+	now    sim.Time
+	queues map[int]int
+	rng    *rand.Rand
+	seed   uint32
+}
+
+func newFakeCtx() *fakeCtx {
+	return &fakeCtx{queues: make(map[int]int), rng: rand.New(rand.NewSource(7))}
+}
+
+func (c *fakeCtx) Now() sim.Time        { return c.now }
+func (c *fakeCtx) QueueBytes(p int) int { return c.queues[p] }
+func (c *fakeCtx) Rand() *rand.Rand     { return c.rng }
+func (c *fakeCtx) Seed() uint32         { return c.seed }
+
+func dataPkt(src, dst packet.NodeID, sport uint16, psn uint32) *packet.Packet {
+	return &packet.Packet{Kind: packet.Data, Src: src, Dst: dst, SPort: sport, DPort: 4791, PSN: psn, Payload: 1000}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	k := packet.FlowKey{Src: 1, Dst: 2, SPort: 100, DPort: 4791}
+	if Hash(k) != Hash(k) {
+		t.Fatal("hash not deterministic")
+	}
+	k2 := k
+	k2.SPort = 101
+	if Hash(k) == Hash(k2) {
+		t.Fatal("sport change should change hash")
+	}
+}
+
+// CRC32 linearity: Hash(k ^ d) ^ Hash(k) depends only on d, not k. This is
+// the property PathMap construction relies on (§3.2).
+func TestHashXORLinearityInSport(t *testing.T) {
+	delta := func(k packet.FlowKey, d uint16) uint32 {
+		kd := k
+		kd.SPort ^= d
+		return Hash(kd) ^ Hash(k)
+	}
+	f := func(src, dst int32, sportA, sportB, d uint16) bool {
+		ka := packet.FlowKey{Src: packet.NodeID(src), Dst: packet.NodeID(dst), SPort: sportA, DPort: 4791}
+		kb := packet.FlowKey{Src: packet.NodeID(dst), Dst: packet.NodeID(src), SPort: sportB, DPort: 4791}
+		return delta(ka, d) == delta(kb, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexPowerOfTwoAndModulo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 16, 256} {
+		for _, h := range []uint32{0, 1, 12345, 1 << 31} {
+			if got, want := Index(h, n), int(h)&(n-1); got != want {
+				t.Fatalf("Index(%d,%d) = %d want %d", h, n, got, want)
+			}
+		}
+	}
+	if got := Index(10, 3); got != 1 {
+		t.Fatalf("Index(10,3) = %d", got)
+	}
+}
+
+func TestIndexPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Index(1, 0)
+}
+
+func TestECMPStickyPerFlow(t *testing.T) {
+	cands := []int{2, 3, 4, 5}
+	ctx := newFakeCtx()
+	var sel ECMP
+	first := sel.Select(dataPkt(1, 2, 100, 0), cands, ctx)
+	for psn := uint32(1); psn < 100; psn++ {
+		if got := sel.Select(dataPkt(1, 2, 100, psn), cands, ctx); got != first {
+			t.Fatal("ECMP moved a flow across paths")
+		}
+	}
+	if sel.Name() != "ecmp" {
+		t.Fatal("name")
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	cands := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	ctx := newFakeCtx()
+	var sel ECMP
+	seen := map[int]int{}
+	for sport := uint16(0); sport < 512; sport++ {
+		seen[sel.Select(dataPkt(1, 2, sport, 0), cands, ctx)]++
+	}
+	for _, c := range cands {
+		if seen[c] == 0 {
+			t.Fatalf("ECMP never used port %d: %v", c, seen)
+		}
+	}
+}
+
+func TestRandomSprayUniform(t *testing.T) {
+	cands := []int{10, 11, 12, 13}
+	ctx := newFakeCtx()
+	var sel RandomSpray
+	counts := map[int]int{}
+	p := dataPkt(1, 2, 100, 0)
+	for i := 0; i < 4000; i++ {
+		counts[sel.Select(p, cands, ctx)]++
+	}
+	for _, c := range cands {
+		if counts[c] < 800 || counts[c] > 1200 {
+			t.Fatalf("random spray skewed: %v", counts)
+		}
+	}
+}
+
+func TestAdaptivePicksShortestQueue(t *testing.T) {
+	cands := []int{0, 1, 2, 3}
+	ctx := newFakeCtx()
+	ctx.queues[0] = 500
+	ctx.queues[1] = 100
+	ctx.queues[2] = 900
+	ctx.queues[3] = 100
+	var sel Adaptive
+	got := sel.Select(dataPkt(1, 2, 100, 0), cands, ctx)
+	if ctx.queues[got] != 100 {
+		t.Fatalf("adaptive picked port %d with queue %d", got, ctx.queues[got])
+	}
+}
+
+func TestAdaptiveReturnsCandidate(t *testing.T) {
+	f := func(src, dst int32, sport uint16, qa, qb, qc uint16) bool {
+		cands := []int{5, 9, 11}
+		ctx := newFakeCtx()
+		ctx.queues[5], ctx.queues[9], ctx.queues[11] = int(qa), int(qb), int(qc)
+		got := Adaptive{}.Select(dataPkt(packet.NodeID(src), packet.NodeID(dst), sport, 0), cands, ctx)
+		if !contains(cands, got) {
+			return false
+		}
+		min := int(qa)
+		if int(qb) < min {
+			min = int(qb)
+		}
+		if int(qc) < min {
+			min = int(qc)
+		}
+		return ctx.queues[got] == min
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSNSprayEq1(t *testing.T) {
+	cands := []int{4, 5, 6, 7} // N = 4
+	ctx := newFakeCtx()
+	var sel PSNSpray
+	p0 := dataPkt(1, 2, 100, 0)
+	base := Index(Hash(p0.Key()), 4)
+	for psn := uint32(0); psn < 64; psn++ {
+		p := dataPkt(1, 2, 100, psn)
+		want := cands[(int(psn%4)+base)%4]
+		if got := sel.Select(p, cands, ctx); got != want {
+			t.Fatalf("psn %d: got %d want %d", psn, got, want)
+		}
+	}
+}
+
+func TestPSNSprayControlFallsBackToECMP(t *testing.T) {
+	cands := []int{0, 1, 2, 3}
+	ctx := newFakeCtx()
+	var sel PSNSpray
+	ack := &packet.Packet{Kind: packet.Ack, Src: 2, Dst: 1, SPort: 99, DPort: 4791, PSN: 5}
+	want := ECMP{}.Select(ack, cands, ctx)
+	for i := 0; i < 10; i++ {
+		ack.PSN = uint32(i)
+		if got := sel.Select(ack, cands, ctx); got != want {
+			t.Fatal("control packets must be ECMP-routed, independent of PSN")
+		}
+	}
+}
+
+// The core property behind Eq. 3: two PSNs map to the same path iff they are
+// congruent mod N.
+func TestSprayIndexCongruenceProperty(t *testing.T) {
+	f := func(psnA, psnB, flowHash uint32, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		same := SprayIndex(psnA, flowHash, n) == SprayIndex(psnB, flowHash, n)
+		return same == (psnA%uint32(n) == psnB%uint32(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Uniformity: over n consecutive PSNs every path is used exactly once.
+func TestSprayIndexUniform(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		seen := make(map[int]int)
+		for psn := uint32(0); psn < uint32(n); psn++ {
+			seen[SprayIndex(psn, 0xdeadbeef, n)]++
+		}
+		if len(seen) != n {
+			t.Fatalf("n=%d: used %d distinct paths", n, len(seen))
+		}
+	}
+}
+
+func TestFlowletSticksWithinGap(t *testing.T) {
+	fl := NewFlowlet(10 * sim.Microsecond)
+	cands := []int{0, 1, 2, 3}
+	ctx := newFakeCtx()
+	p := dataPkt(1, 2, 100, 0)
+	first := fl.Select(p, cands, ctx)
+	for i := 0; i < 50; i++ {
+		ctx.now = ctx.now.Add(sim.Microsecond) // gaps below timeout
+		if got := fl.Select(p, cands, ctx); got != first {
+			t.Fatal("flowlet switched paths within gap")
+		}
+	}
+	if fl.Entries() != 1 {
+		t.Fatalf("entries = %d", fl.Entries())
+	}
+}
+
+func TestFlowletSwitchesAfterGap(t *testing.T) {
+	fl := NewFlowlet(10 * sim.Microsecond)
+	cands := []int{0, 1}
+	ctx := newFakeCtx()
+	p := dataPkt(1, 2, 100, 0)
+	first := fl.Select(p, cands, ctx)
+	// Make the current path look congested and wait past the gap.
+	ctx.queues[first] = 1 << 20
+	ctx.now = ctx.now.Add(11 * sim.Microsecond)
+	if got := fl.Select(p, cands, ctx); got == first {
+		t.Fatal("flowlet failed to re-balance after gap")
+	}
+}
+
+func TestFlowletRebalancesOnInvalidPort(t *testing.T) {
+	fl := NewFlowlet(10 * sim.Microsecond)
+	ctx := newFakeCtx()
+	p := dataPkt(1, 2, 100, 0)
+	first := fl.Select(p, []int{0, 1}, ctx)
+	// Candidate set shrinks (link failure): cached port may disappear.
+	remaining := []int{1 - first}
+	ctx.now = ctx.now.Add(sim.Nanosecond)
+	if got := fl.Select(p, remaining, ctx); got != remaining[0] {
+		t.Fatal("flowlet returned a non-candidate port")
+	}
+}
+
+func TestFlowletZeroGapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFlowlet(0)
+}
+
+func TestSelectorNames(t *testing.T) {
+	names := map[string]Selector{
+		"ecmp":      ECMP{},
+		"rps":       RandomSpray{},
+		"adaptive":  Adaptive{},
+		"psn-spray": PSNSpray{},
+		"flowlet":   NewFlowlet(sim.Microsecond),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q want %q", s.Name(), want)
+		}
+	}
+}
+
+// gf32Mul is the per-switch seeding transform; ECMPIndex's correctness
+// arguments need it to be GF(2)-linear and invertible.
+func TestGF32MulDistributesOverXOR(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		return gf32Mul(a^b, c) == gf32Mul(a, c)^gf32Mul(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGF32MulNoZeroDivisors(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a == 0 || b == 0 {
+			return gf32Mul(a, b) == 0
+		}
+		return gf32Mul(a, b) != 0 // field: nonzero * nonzero != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGF32MulCommutes(t *testing.T) {
+	f := func(a, b uint32) bool { return gf32Mul(a, b) == gf32Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Different tiers must decide on genuinely different hash subspaces: for a
+// decent fraction of flows, tier 0 and tier 1 pick different indices.
+func TestTierSeedsDecorrelate(t *testing.T) {
+	differ := 0
+	const flows = 1024
+	for i := 0; i < flows; i++ {
+		k := packet.FlowKey{Src: 1, Dst: 2, SPort: uint16(i), DPort: 4791}
+		if ECMPIndex(k, TierSeed(0), 4) != ECMPIndex(k, TierSeed(1), 4) {
+			differ++
+		}
+	}
+	// Perfect decorrelation gives ~75%; anything near zero means
+	// polarization is back.
+	if differ < flows/2 {
+		t.Fatalf("tiers correlated: only %d/%d differ", differ, flows)
+	}
+}

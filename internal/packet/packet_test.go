@@ -1,0 +1,132 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Data: "DATA", Ack: "ACK", Nack: "NACK", Cnp: "CNP", Kind(9): "Kind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind %d: got %q want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindIsControl(t *testing.T) {
+	if Data.IsControl() {
+		t.Error("Data should not be control")
+	}
+	for _, k := range []Kind{Ack, Nack, Cnp} {
+		if !k.IsControl() {
+			t.Errorf("%v should be control", k)
+		}
+	}
+}
+
+func TestPacketSize(t *testing.T) {
+	p := &Packet{Kind: Data, Payload: 1500}
+	if p.Size() != 1500+HeaderBytes {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	c := &Packet{Kind: Ack}
+	if c.Size() != ControlBytes {
+		t.Fatalf("control Size = %d", c.Size())
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Kind: Data, QP: 3, PSN: 17, Src: 1, Dst: 2, SPort: 999, Payload: 1000, Retransmit: true}
+	s := p.String()
+	for _, want := range []string{"DATA", "qp=3", "psn=17", "1->2", "sport=999", "len=1000", "rtx"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFlowKey(t *testing.T) {
+	a := &Packet{Src: 1, Dst: 2, SPort: 10, DPort: 4791}
+	b := &Packet{Src: 1, Dst: 2, SPort: 10, DPort: 4791, PSN: 99}
+	if a.Key() != b.Key() {
+		t.Fatal("PSN must not affect flow key")
+	}
+	c := &Packet{Src: 1, Dst: 2, SPort: 11, DPort: 4791}
+	if a.Key() == c.Key() {
+		t.Fatal("sport must affect flow key")
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	pl := NewPool()
+	p1 := pl.Get()
+	p1.PSN = 42
+	p1.ECN = true
+	pl.Put(p1)
+	p2 := pl.Get()
+	if p2 != p1 {
+		t.Fatal("pool did not reuse packet")
+	}
+	if p2.PSN != 0 || p2.ECN {
+		t.Fatal("reused packet not zeroed")
+	}
+	allocs, reuses, returns := pl.Stats()
+	if allocs != 1 || reuses != 1 || returns != 1 {
+		t.Fatalf("stats = %d %d %d", allocs, reuses, returns)
+	}
+}
+
+func TestPoolPutNil(t *testing.T) {
+	pl := NewPool()
+	pl.Put(nil) // must not panic or count
+	_, _, returns := pl.Stats()
+	if returns != 0 {
+		t.Fatal("nil Put counted")
+	}
+}
+
+func TestPoolManyCycles(t *testing.T) {
+	pl := NewPool()
+	live := make([]*Packet, 0, 64)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 64; i++ {
+			live = append(live, pl.Get())
+		}
+		for _, p := range live {
+			pl.Put(p)
+		}
+		live = live[:0]
+	}
+	allocs, reuses, _ := pl.Stats()
+	if allocs > 64 {
+		t.Fatalf("allocs = %d, want <= 64", allocs)
+	}
+	if reuses == 0 {
+		t.Fatal("no reuses")
+	}
+}
+
+// Property: a reused packet is always fully zeroed regardless of what the
+// previous holder wrote into it.
+func TestPoolZeroingProperty(t *testing.T) {
+	pl := NewPool()
+	f := func(psn uint32, payload uint16, ecn, rtx bool, sport uint16) bool {
+		p := pl.Get()
+		p.PSN = psn
+		p.Payload = int(payload)
+		p.ECN = ecn
+		p.Retransmit = rtx
+		p.SPort = sport
+		pl.Put(p)
+		q := pl.Get()
+		defer pl.Put(q)
+		return *q == Packet{}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

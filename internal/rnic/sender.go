@@ -1,0 +1,370 @@
+package rnic
+
+import (
+	"themis/internal/cc"
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+// SenderStats counts sender-side events.
+type SenderStats struct {
+	DataPackets  uint64 // data packets injected (including retransmissions)
+	Retransmits  uint64 // retransmitted data packets
+	BytesSent    uint64 // payload bytes injected (incl. retransmissions)
+	GoodputBytes uint64 // payload bytes acked (each byte counted once)
+	AcksRx       uint64
+	NacksRx      uint64
+	CnpsRx       uint64
+	Timeouts     uint64
+	Completions  uint64
+}
+
+// message tracks one posted send.
+type message struct {
+	endPSN uint32 // PSN one past the last packet of the message
+	size   int64
+	done   func()
+}
+
+// SenderQP is the send half of a queue pair: packetization, rate pacing,
+// retransmission and completion tracking.
+type SenderQP struct {
+	nic   *NIC
+	qp    packet.QPID
+	dst   packet.NodeID
+	sport uint16
+
+	dcqcn *cc.DCQCN
+
+	// PSN space.
+	nextPSN  uint32         // next fresh PSN to assign (message packetization)
+	sendPSN  uint32         // next PSN to transmit (rewinds under GBN)
+	maxSent  uint32         // one past the highest PSN ever transmitted
+	cumAck   uint32         // everything below is acknowledged
+	lastSize map[uint32]int // payload size per PSN for tail packets (non-MTU)
+
+	// Retransmit queue (SelectiveRepeat/Ideal): PSNs to resend, FIFO.
+	rtxQueue   []uint32
+	rtxPending map[uint32]bool
+
+	messages []message
+
+	// Pacing.
+	nextSendAt sim.Time
+	pumpEv     *sim.Event
+	rto        *sim.Timer
+
+	stats SenderStats
+
+	// OnSend, if set, observes every injected data packet (after stamping).
+	OnSend func(t sim.Time, psn uint32, payload int, retransmit bool)
+	// OnComplete, if set, observes every completed message.
+	OnComplete func(t sim.Time, size int64)
+}
+
+func newSenderQP(n *NIC, qp packet.QPID, dst packet.NodeID, sport uint16) *SenderQP {
+	s := &SenderQP{
+		nic:        n,
+		qp:         qp,
+		dst:        dst,
+		sport:      sport,
+		lastSize:   make(map[uint32]int),
+		rtxPending: make(map[uint32]bool),
+	}
+	if !n.cfg.DisableCC {
+		s.dcqcn = cc.New(n.engine, n.cfg.CC)
+	}
+	s.rto = sim.NewTimer(n.engine, s.onTimeout)
+	return s
+}
+
+// QP returns the queue pair ID.
+func (s *SenderQP) QP() packet.QPID { return s.qp }
+
+// Dst returns the destination host.
+func (s *SenderQP) Dst() packet.NodeID { return s.dst }
+
+// SPort returns the flow's UDP source port.
+func (s *SenderQP) SPort() uint16 { return s.sport }
+
+// Stats returns a snapshot of the sender counters.
+func (s *SenderQP) Stats() SenderStats { return s.stats }
+
+// CC returns the DCQCN instance (nil when CC is disabled).
+func (s *SenderQP) CC() *cc.DCQCN { return s.dcqcn }
+
+// Rate returns the current pacing rate.
+func (s *SenderQP) Rate() int64 {
+	if s.dcqcn == nil {
+		return s.nic.cfg.LineRate
+	}
+	return s.dcqcn.Rate()
+}
+
+// Outstanding reports whether sent-but-unacknowledged data exists. Unsent
+// backlog does not count: the retransmission timer must never fire just
+// because the pacer is slow.
+func (s *SenderQP) Outstanding() bool { return s.cumAck < s.maxSent }
+
+// SendMessage posts a message of size bytes; done (optional) fires when the
+// last byte is acknowledged.
+func (s *SenderQP) SendMessage(size int64, done func()) {
+	if size <= 0 {
+		panic("rnic: SendMessage with non-positive size")
+	}
+	mtu := int64(s.nic.cfg.MTU)
+	packets := (size + mtu - 1) / mtu
+	tail := int(size - (packets-1)*mtu)
+	endPSN := s.nextPSN + uint32(packets)
+	if tail != s.nic.cfg.MTU {
+		s.lastSize[endPSN-1] = tail
+	}
+	s.nextPSN = endPSN
+	s.messages = append(s.messages, message{endPSN: endPSN, size: size, done: done})
+	s.pump()
+}
+
+// payloadOf returns the payload size of a PSN.
+func (s *SenderQP) payloadOf(psn uint32) int {
+	if sz, ok := s.lastSize[psn]; ok {
+		return sz
+	}
+	return s.nic.cfg.MTU
+}
+
+// pump drives the pacing loop: inject the next packet when the pacer allows.
+func (s *SenderQP) pump() {
+	if s.pumpEv != nil {
+		return
+	}
+	now := s.nic.engine.Now()
+	if now < s.nextSendAt {
+		s.pumpEv = s.nic.engine.At(s.nextSendAt, s.pumpFire)
+		return
+	}
+	s.transmitNext()
+}
+
+func (s *SenderQP) pumpFire() {
+	s.pumpEv = nil
+	s.transmitNext()
+}
+
+// transmitNext sends one pacer burst (retransmissions first) and schedules
+// the next pacing slot so the average rate matches the DCQCN rate.
+func (s *SenderQP) transmitNext() {
+	now := s.nic.engine.Now()
+	burstLimit := s.nic.cfg.BurstBytes
+	sentWire := 0
+	for {
+		psn, retrans, ok := s.pickNext()
+		if !ok {
+			break
+		}
+		payload := s.payloadOf(psn)
+		p := &packet.Packet{
+			Kind:       packet.Data,
+			Src:        s.nic.id,
+			Dst:        s.dst,
+			QP:         s.qp,
+			SPort:      s.sport,
+			DPort:      4791,
+			PSN:        psn,
+			Payload:    payload,
+			Retransmit: retrans,
+		}
+		s.stats.DataPackets++
+		s.stats.BytesSent += uint64(payload)
+		if retrans {
+			s.stats.Retransmits++
+		}
+		if s.dcqcn != nil {
+			s.dcqcn.OnBytesSent(p.Size())
+		}
+		if s.OnSend != nil {
+			s.OnSend(now, psn, payload, retrans)
+		}
+		s.nic.inject(p)
+		sentWire += p.Size()
+		if sentWire >= burstLimit {
+			break // burstLimit <= 0 still sends exactly one packet
+		}
+	}
+	if sentWire == 0 {
+		return
+	}
+	if !s.rto.Active() {
+		s.rto.Reset(s.nic.cfg.RTO)
+	}
+	// Pacing gap: the burst's on-wire time at the current rate.
+	s.nextSendAt = now.Add(sim.TransmitTime(sentWire, s.Rate()))
+	s.pumpEv = s.nic.engine.At(s.nextSendAt, s.pumpFire)
+}
+
+// pickNext chooses the next PSN to send.
+func (s *SenderQP) pickNext() (psn uint32, retransmit bool, ok bool) {
+	// Retransmissions take priority (SelectiveRepeat/Ideal path).
+	for len(s.rtxQueue) > 0 {
+		psn = s.rtxQueue[0]
+		s.rtxQueue = s.rtxQueue[1:]
+		delete(s.rtxPending, psn)
+		if psn >= s.cumAck { // still unacked
+			return psn, true, true
+		}
+	}
+	if s.sendPSN < s.nextPSN {
+		psn = s.sendPSN
+		s.sendPSN++
+		retransmit = psn < s.maxSent // only under a GBN rewind
+		if s.maxSent < s.sendPSN {
+			s.maxSent = s.sendPSN
+		}
+		return psn, retransmit, true
+	}
+	return 0, false, false
+}
+
+// onAck processes a cumulative acknowledgment.
+func (s *SenderQP) onAck(p *packet.Packet) {
+	s.stats.AcksRx++
+	s.advanceCumAck(p.PSN)
+}
+
+// onNack processes a NACK: the ePSN it carries acknowledges everything
+// below, requests retransmission of exactly that PSN, and (on commodity
+// NICs) triggers a DCQCN rate cut.
+func (s *SenderQP) onNack(p *packet.Packet) {
+	s.stats.NacksRx++
+	s.advanceCumAck(p.PSN)
+	switch s.nic.cfg.Transport {
+	case SelectiveRepeat:
+		// §2.2: upon receiving a NACK the RNIC retransmits the ePSN packet
+		// right away — the hardware responds in the datapath, not behind
+		// the pacer schedule. This immediacy is what makes spraying-induced
+		// NACKs so wasteful.
+		s.retransmitNow(p.PSN)
+		if s.dcqcn != nil {
+			s.dcqcn.OnNack()
+		}
+	case GoBackN:
+		if p.PSN < s.sendPSN {
+			s.sendPSN = p.PSN
+		}
+		if s.dcqcn != nil {
+			s.dcqcn.OnNack()
+		}
+	case Ideal:
+		// The oracle transport retransmits what was really lost but never
+		// treats a NACK as congestion.
+		s.queueRetransmit(p.PSN)
+	}
+	s.pump()
+}
+
+// retransmitNow injects one retransmission immediately, bypassing the pacer.
+func (s *SenderQP) retransmitNow(psn uint32) {
+	if psn >= s.maxSent || psn < s.cumAck {
+		return
+	}
+	payload := s.payloadOf(psn)
+	p := &packet.Packet{
+		Kind:       packet.Data,
+		Src:        s.nic.id,
+		Dst:        s.dst,
+		QP:         s.qp,
+		SPort:      s.sport,
+		DPort:      4791,
+		PSN:        psn,
+		Payload:    payload,
+		Retransmit: true,
+	}
+	s.stats.DataPackets++
+	s.stats.BytesSent += uint64(payload)
+	s.stats.Retransmits++
+	if s.dcqcn != nil {
+		s.dcqcn.OnBytesSent(p.Size())
+	}
+	if s.OnSend != nil {
+		s.OnSend(s.nic.engine.Now(), psn, payload, true)
+	}
+	s.nic.inject(p)
+	if !s.rto.Active() {
+		s.rto.Reset(s.nic.cfg.RTO)
+	}
+}
+
+func (s *SenderQP) onCnp(_ *packet.Packet) {
+	s.stats.CnpsRx++
+	if s.dcqcn != nil {
+		s.dcqcn.OnCNP()
+	}
+}
+
+func (s *SenderQP) queueRetransmit(psn uint32) {
+	if psn >= s.maxSent || psn < s.cumAck || s.rtxPending[psn] {
+		return
+	}
+	s.rtxPending[psn] = true
+	s.rtxQueue = append(s.rtxQueue, psn)
+}
+
+// advanceCumAck moves the cumulative ack point, fires completions, and
+// manages the RTO.
+func (s *SenderQP) advanceCumAck(epsn uint32) {
+	if epsn <= s.cumAck {
+		return
+	}
+	for psn := s.cumAck; psn < epsn; psn++ {
+		s.stats.GoodputBytes += uint64(s.payloadOf(psn))
+	}
+	// Drop tail-size records below the ack point.
+	for psn := range s.lastSize {
+		if psn < epsn {
+			delete(s.lastSize, psn)
+		}
+	}
+	s.cumAck = epsn
+	now := s.nic.engine.Now()
+	for len(s.messages) > 0 && s.messages[0].endPSN <= s.cumAck {
+		m := s.messages[0]
+		s.messages = s.messages[1:]
+		s.stats.Completions++
+		if s.OnComplete != nil {
+			s.OnComplete(now, m.size)
+		}
+		if m.done != nil {
+			m.done()
+		}
+	}
+	if s.Outstanding() {
+		s.rto.Reset(s.nic.cfg.RTO)
+	} else {
+		// Idle QP: no retransmission timer. DCQCN timers keep running and
+		// self-quiesce once the rate recovers to line rate (and the alpha
+		// estimate decays), so an idle QP soon stops generating events
+		// while still recovering its rate between collective steps.
+		s.rto.Stop()
+	}
+	s.pump()
+}
+
+// onTimeout retransmits from the ack point after silence.
+func (s *SenderQP) onTimeout() {
+	if !s.Outstanding() {
+		return
+	}
+	s.stats.Timeouts++
+	switch s.nic.cfg.Transport {
+	case SelectiveRepeat, Ideal:
+		s.queueRetransmit(s.cumAck)
+	case GoBackN:
+		if s.cumAck < s.sendPSN {
+			s.sendPSN = s.cumAck
+		}
+	}
+	if s.dcqcn != nil && s.nic.cfg.Transport != Ideal {
+		s.dcqcn.OnTimeout()
+	}
+	s.rto.Reset(s.nic.cfg.RTO)
+	s.pump()
+}

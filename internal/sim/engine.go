@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. It is returned by the Schedule family so
+// callers can cancel pending events (e.g. retransmission timers).
+type Event struct {
+	time      Time
+	seq       uint64 // tie-breaker: FIFO among same-time events
+	index     int    // heap index, -1 once popped or cancelled
+	fn        func()
+	cancelled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() Time { return e.time }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the whole simulation runs on the goroutine that calls Run.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	nEvents uint64 // total events executed
+	rng     *rand.Rand
+	stopped bool
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic
+// random source seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All randomized
+// components (random spraying, jitter) must draw from it so that a seed fully
+// determines a run.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Executed returns the total number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.nEvents }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a logic bug in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{time: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Schedule schedules fn to run after delay d (d may be zero).
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue drains, the clock would
+// pass until, or Stop is called. It returns the time of the last executed
+// event (or the current time if nothing ran).
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.time > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.time
+		e.nEvents++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() Time { return e.Run(Forever) }

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(5 * Microsecond)
+	if t1 != Time(5*Microsecond) {
+		t.Fatalf("Add: got %d", t1)
+	}
+	if d := t1.Sub(t0); d != 5*Microsecond {
+		t.Fatalf("Sub: got %v", d)
+	}
+	if s := t1.Seconds(); s != 5e-6 {
+		t.Fatalf("Seconds: got %g", s)
+	}
+	if us := t1.Microseconds(); us != 5 {
+		t.Fatalf("Microseconds: got %g", us)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{Second, "1s"},
+		{3 * Millisecond, "3ms"},
+		{7 * Microsecond, "7us"},
+		{9 * Nanosecond, "9ns"},
+		{5, "5ps"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d ps: got %q want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationStdRoundTrip(t *testing.T) {
+	d := 1500 * Nanosecond
+	if d.Std() != 1500*time.Nanosecond {
+		t.Fatalf("Std: got %v", d.Std())
+	}
+	if FromStd(2*time.Microsecond) != 2*Microsecond {
+		t.Fatalf("FromStd: got %v", FromStd(2*time.Microsecond))
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	// 1500 bytes at 400 Gbps = 12000 bits / 4e11 bps = 30 ns exactly.
+	if got := TransmitTime(1500, 400e9); got != 30*Nanosecond {
+		t.Fatalf("1500B@400G: got %v want 30ns", got)
+	}
+	// 1 byte at 100 Gbps = 8 bits / 1e11 = 80 ps exactly.
+	if got := TransmitTime(1, 100e9); got != 80*Picosecond {
+		t.Fatalf("1B@100G: got %v want 80ps", got)
+	}
+	// Rounds up: 1 byte at 3 bps -> ceil(8e12/3) ps.
+	if got := TransmitTime(1, 3); got != Duration((8*int64(Second)+2)/3) {
+		t.Fatalf("rounding: got %v", got)
+	}
+}
+
+func TestTransmitTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TransmitTime(1, 0)
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %v", e.Now())
+	}
+	if e.Executed() != 3 {
+		t.Fatalf("executed = %d", e.Executed())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: order[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	e.Run(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunAll()
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.At(Time(i+1), func() { fired = append(fired, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.RunAll()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEngineScheduleFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	var recur func()
+	n := 0
+	recur = func() {
+		times = append(times, e.Now())
+		n++
+		if n < 5 {
+			e.Schedule(7, recur)
+		}
+	}
+	e.Schedule(7, recur)
+	e.RunAll()
+	for i, tm := range times {
+		if tm != Time(7*(i+1)) {
+			t.Fatalf("times = %v", times)
+		}
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(1, func() { fired++; e.Stop() })
+	e.At(2, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+	// Run can be resumed.
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("fired = %d after resume, want 2", fired)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.RunAll()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		var draws []int64
+		for i := 0; i < 10; i++ {
+			d := Duration(e.Rand().Intn(1000) + 1)
+			e.Schedule(d, func() { draws = append(draws, int64(e.Now())) })
+		}
+		e.RunAll()
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(1)
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Duration(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	if tm.Active() {
+		t.Fatal("new timer should be stopped")
+	}
+	if tm.Deadline() != Forever {
+		t.Fatal("stopped timer deadline should be Forever")
+	}
+	tm.Reset(10)
+	if !tm.Active() || tm.Deadline() != 10 {
+		t.Fatalf("active=%v deadline=%v", tm.Active(), tm.Deadline())
+	}
+	e.RunAll()
+	if fired != 1 || tm.Active() {
+		t.Fatalf("fired=%d active=%v", fired, tm.Active())
+	}
+}
+
+func TestTimerResetSupersedes(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Reset(10)
+	tm.Reset(50) // supersedes the first arm
+	e.Run(20)
+	if fired != 0 {
+		t.Fatal("superseded firing ran")
+	}
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	tm := NewTimer(e, func() { t.Fatal("stopped timer fired") })
+	tm.Reset(10)
+	if !tm.Stop() {
+		t.Fatal("Stop should report a pending firing")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report nothing pending")
+	}
+	e.RunAll()
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	tk := NewTicker(e, 10, func() { ticks = append(ticks, e.Now()) })
+	tk.Start()
+	e.Run(35)
+	tk.Stop()
+	e.RunAll()
+	if len(ticks) != 3 || ticks[0] != 10 || ticks[1] != 20 || ticks[2] != 30 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+}
+
+func TestTickerSetPeriod(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	var tk *Ticker
+	tk = NewTicker(e, 10, func() {
+		ticks = append(ticks, e.Now())
+		tk.SetPeriod(20)
+	})
+	tk.Start()
+	e.Run(55)
+	tk.Stop()
+	// first tick at 10, then every 20: 30, 50.
+	if len(ticks) != 3 || ticks[0] != 10 || ticks[1] != 30 || ticks[2] != 50 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTicker(e, 0, func() {})
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%100), func() {})
+		if e.Pending() > 1024 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}

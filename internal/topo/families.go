@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"fmt"
+
+	"themis/internal/sim"
+)
+
+// LinkSpec bundles the rate and propagation delay of one link class.
+type LinkSpec struct {
+	Bandwidth int64        // bits per second
+	Delay     sim.Duration // one-way propagation delay
+}
+
+// LeafSpineConfig parameterizes a 2-tier Clos (leaf-spine) fabric. With
+// HostLink == FabricLink and Spines == HostsPerLeaf the fabric has 1:1
+// subscription, as in the paper's evaluation (§5).
+type LeafSpineConfig struct {
+	Leaves       int // number of leaf (ToR) switches
+	Spines       int // number of spine switches
+	HostsPerLeaf int
+	HostLink     LinkSpec // host <-> leaf links
+	FabricLink   LinkSpec // leaf <-> spine links
+}
+
+// NewLeafSpine builds a leaf-spine fabric. Host NodeIDs are assigned
+// leaf-major: host h lives on leaf h / HostsPerLeaf. Every leaf connects to
+// every spine, so there are exactly Spines equal-cost paths between hosts in
+// different racks, and a leaf's uplink port for spine s is port
+// HostsPerLeaf+s (host ports come first).
+func NewLeafSpine(cfg LeafSpineConfig) (*Topology, error) {
+	if cfg.Leaves <= 0 || cfg.Spines <= 0 || cfg.HostsPerLeaf <= 0 {
+		return nil, fmt.Errorf("topo: leaf-spine dimensions must be positive: %+v", cfg)
+	}
+	b := NewBuilder()
+	leaves := make([]int, cfg.Leaves)
+	for i := range leaves {
+		leaves[i] = b.AddSwitch(fmt.Sprintf("leaf%d", i), 0)
+	}
+	spines := make([]int, cfg.Spines)
+	for i := range spines {
+		spines[i] = b.AddSwitch(fmt.Sprintf("spine%d", i), 1)
+	}
+	for _, l := range leaves {
+		for h := 0; h < cfg.HostsPerLeaf; h++ {
+			b.AddHost(l, cfg.HostLink.Bandwidth, cfg.HostLink.Delay)
+		}
+		for _, s := range spines {
+			b.Connect(l, s, cfg.FabricLink.Bandwidth, cfg.FabricLink.Delay)
+		}
+	}
+	return b.Build()
+}
+
+// FatTreeConfig parameterizes a 3-tier fat-tree [Al-Fares et al.] with switch
+// port count K (must be even). The fabric has K pods; each pod has K/2 edge
+// (ToR) and K/2 aggregation switches; there are (K/2)^2 core switches and
+// K^3/4 hosts. Between hosts in different pods there are (K/2)^2 equal-cost
+// paths.
+type FatTreeConfig struct {
+	K          int
+	HostLink   LinkSpec
+	FabricLink LinkSpec
+}
+
+// NewFatTree builds a K-ary fat-tree. Host NodeIDs are assigned pod-major,
+// edge-major: host h lives in pod h/(K/2)^2, on edge switch (h mod (K/2)^2)/(K/2).
+func NewFatTree(cfg FatTreeConfig) (*Topology, error) {
+	k := cfg.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree K must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	b := NewBuilder()
+	// Edge and aggregation switches per pod.
+	edges := make([][]int, k) // edges[pod][i]
+	aggs := make([][]int, k)  // aggs[pod][i]
+	for pod := 0; pod < k; pod++ {
+		edges[pod] = make([]int, half)
+		aggs[pod] = make([]int, half)
+		for i := 0; i < half; i++ {
+			edges[pod][i] = b.AddSwitch(fmt.Sprintf("edge%d.%d", pod, i), 0)
+		}
+		for i := 0; i < half; i++ {
+			aggs[pod][i] = b.AddSwitch(fmt.Sprintf("agg%d.%d", pod, i), 1)
+		}
+	}
+	// Core switches: (k/2)^2, organized in half groups of half; core group g
+	// connects to aggregation switch g of every pod.
+	cores := make([][]int, half)
+	for g := 0; g < half; g++ {
+		cores[g] = make([]int, half)
+		for j := 0; j < half; j++ {
+			cores[g][j] = b.AddSwitch(fmt.Sprintf("core%d.%d", g, j), 2)
+		}
+	}
+	for pod := 0; pod < k; pod++ {
+		for i := 0; i < half; i++ {
+			// Hosts first so host ports precede uplinks on edge switches.
+			for h := 0; h < half; h++ {
+				b.AddHost(edges[pod][i], cfg.HostLink.Bandwidth, cfg.HostLink.Delay)
+			}
+			// Edge i connects to every aggregation switch in its pod.
+			for a := 0; a < half; a++ {
+				b.Connect(edges[pod][i], aggs[pod][a], cfg.FabricLink.Bandwidth, cfg.FabricLink.Delay)
+			}
+		}
+		// Aggregation g connects to all cores in group g.
+		for g := 0; g < half; g++ {
+			for j := 0; j < half; j++ {
+				b.Connect(aggs[pod][g], cores[g][j], cfg.FabricLink.Bandwidth, cfg.FabricLink.Delay)
+			}
+		}
+	}
+	return b.Build()
+}

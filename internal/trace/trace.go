@@ -1,0 +1,215 @@
+// Package trace records simulation events into a bounded in-memory ring for
+// debugging and for the packet-level walkthroughs in the examples. Recording
+// is zero-cost when no tracer is installed (a nil *Tracer is safe to call).
+//
+// Events capture the life of a packet through the fabric — injection,
+// switch hops, queueing decisions, ECN marks, drops — and the Themis
+// middleware's verdicts (blocked / forwarded / compensated), which is
+// exactly the evidence one needs to audit a NACK classification after the
+// fact.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+// Op enumerates traced operations.
+type Op uint8
+
+const (
+	// HostTx: a host injected a packet into its access link.
+	HostTx Op = iota
+	// SwEnq: a switch queued a packet on an egress port.
+	SwEnq
+	// SwTx: a packet started serializing out of a port.
+	SwTx
+	// Mark: a packet got CE-marked.
+	Mark
+	// Drop: a packet was dropped (buffer, loss injection or dead link).
+	Drop
+	// Deliver: a packet reached its destination host.
+	Deliver
+	// NackBlocked: Themis-D blocked an invalid NACK.
+	NackBlocked
+	// NackForwarded: Themis-D validated and forwarded a NACK.
+	NackForwarded
+	// Compensate: Themis-D generated a compensation NACK.
+	Compensate
+	// Spray: Themis-S steered a data packet.
+	Spray
+)
+
+// String returns the op mnemonic.
+func (o Op) String() string {
+	switch o {
+	case HostTx:
+		return "host-tx"
+	case SwEnq:
+		return "sw-enq"
+	case SwTx:
+		return "sw-tx"
+	case Mark:
+		return "mark"
+	case Drop:
+		return "drop"
+	case Deliver:
+		return "deliver"
+	case NackBlocked:
+		return "nack-blocked"
+	case NackForwarded:
+		return "nack-fwd"
+	case Compensate:
+		return "compensate"
+	case Spray:
+		return "spray"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Event is one recorded occurrence. Packet fields are copied, not
+// referenced, so events stay valid after the packet is recycled.
+type Event struct {
+	T    sim.Time
+	Op   Op
+	Sw   int // switch involved, -1 for host-side events
+	Port int // port involved, -1 when not applicable
+	Kind packet.Kind
+	QP   packet.QPID
+	PSN  uint32
+	Src  packet.NodeID
+	Dst  packet.NodeID
+}
+
+// String renders one line of trace output.
+func (e Event) String() string {
+	loc := "host"
+	if e.Sw >= 0 {
+		if e.Port >= 0 {
+			loc = fmt.Sprintf("sw%d.%d", e.Sw, e.Port)
+		} else {
+			loc = fmt.Sprintf("sw%d", e.Sw)
+		}
+	}
+	return fmt.Sprintf("%12.3fus %-12s %-8s %s qp=%d psn=%d %d->%d",
+		e.T.Microseconds(), e.Op, loc, e.Kind, e.QP, e.PSN, e.Src, e.Dst)
+}
+
+// Tracer is a fixed-capacity ring of events. The zero value is unusable;
+// construct with New. A nil Tracer ignores Record calls, so call sites need
+// no guards.
+type Tracer struct {
+	events []Event
+	head   int
+	size   int
+	total  uint64
+}
+
+// New returns a tracer retaining the last capacity events.
+func New(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{events: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full. Safe on nil.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	t.total++
+	if t.size < len(t.events) {
+		t.events[(t.head+t.size)%len(t.events)] = ev
+		t.size++
+		return
+	}
+	t.events[t.head] = ev
+	t.head = (t.head + 1) % len(t.events)
+}
+
+// RecordPacket is a convenience wrapper copying packet fields. Safe on nil.
+func (t *Tracer) RecordPacket(now sim.Time, op Op, sw, port int, p *packet.Packet) {
+	if t == nil {
+		return
+	}
+	t.Record(Event{
+		T: now, Op: op, Sw: sw, Port: port,
+		Kind: p.Kind, QP: p.QP, PSN: p.PSN, Src: p.Src, Dst: p.Dst,
+	})
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.size
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, t.size)
+	for i := 0; i < t.size; i++ {
+		out[i] = t.events[(t.head+i)%len(t.events)]
+	}
+	return out
+}
+
+// Filter returns retained events satisfying keep, oldest-first.
+func (t *Tracer) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByQP returns the retained events of one QP, oldest-first.
+func (t *Tracer) ByQP(qp packet.QPID) []Event {
+	return t.Filter(func(e Event) bool { return e.QP == qp })
+}
+
+// Dump writes the retained events, one per line.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, ev := range t.Events() {
+		if _, err := fmt.Fprintln(w, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary counts retained events per op.
+func (t *Tracer) Summary() string {
+	counts := map[Op]int{}
+	for _, ev := range t.Events() {
+		counts[ev.Op]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events retained (%d total)\n", t.Len(), t.Total())
+	for op := HostTx; op <= Spray; op++ {
+		if c := counts[op]; c > 0 {
+			fmt.Fprintf(&b, "  %-14s %d\n", op, c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+func ev(t sim.Time, op Op, psn uint32) Event {
+	return Event{T: t, Op: op, Sw: 1, Port: 2, Kind: packet.Data, QP: 3, PSN: psn, Src: 0, Dst: 4}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(ev(0, HostTx, 0))
+	tr.RecordPacket(0, Drop, 0, 0, &packet.Packet{})
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer misbehaved")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 5; i++ {
+		tr.Record(ev(sim.Time(i), SwEnq, uint32(i)))
+	}
+	evs := tr.Events()
+	if len(evs) != 5 || tr.Total() != 5 {
+		t.Fatalf("len=%d total=%d", len(evs), tr.Total())
+	}
+	for i, e := range evs {
+		if e.PSN != uint32(i) {
+			t.Fatal("order broken")
+		}
+	}
+}
+
+func TestEviction(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Record(ev(sim.Time(i), SwEnq, uint32(i)))
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].PSN != 7 || evs[2].PSN != 9 {
+		t.Fatalf("retained = %v", evs)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestMinCapacity(t *testing.T) {
+	tr := New(0)
+	tr.Record(ev(0, Drop, 1))
+	tr.Record(ev(1, Drop, 2))
+	if tr.Len() != 1 || tr.Events()[0].PSN != 2 {
+		t.Fatal("min capacity ring broken")
+	}
+}
+
+func TestFilterAndByQP(t *testing.T) {
+	tr := New(16)
+	tr.Record(Event{Op: Drop, QP: 1, PSN: 10})
+	tr.Record(Event{Op: Mark, QP: 2, PSN: 20})
+	tr.Record(Event{Op: Drop, QP: 1, PSN: 30})
+	drops := tr.Filter(func(e Event) bool { return e.Op == Drop })
+	if len(drops) != 2 {
+		t.Fatalf("drops = %d", len(drops))
+	}
+	qp1 := tr.ByQP(1)
+	if len(qp1) != 2 || qp1[0].PSN != 10 || qp1[1].PSN != 30 {
+		t.Fatalf("qp1 = %v", qp1)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := ev(sim.Time(1500*sim.Nanosecond), NackBlocked, 7)
+	s := e.String()
+	for _, want := range []string{"1.500us", "nack-blocked", "sw1.2", "DATA", "qp=3", "psn=7", "0->4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+	host := Event{Op: HostTx, Sw: -1, Port: -1}
+	if !strings.Contains(host.String(), "host") {
+		t.Fatal("host event location")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := map[Op]string{
+		HostTx: "host-tx", SwEnq: "sw-enq", SwTx: "sw-tx", Mark: "mark",
+		Drop: "drop", Deliver: "deliver", NackBlocked: "nack-blocked",
+		NackForwarded: "nack-fwd", Compensate: "compensate", Spray: "spray",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d = %q want %q", op, op.String(), want)
+		}
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Fatal("unknown op")
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	tr := New(4)
+	tr.Record(ev(0, Drop, 1))
+	tr.Record(ev(1, Mark, 2))
+	var sb strings.Builder
+	if err := tr.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 2 {
+		t.Fatalf("dump lines = %d", got)
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "drop") || !strings.Contains(sum, "mark") || !strings.Contains(sum, "2 events") {
+		t.Fatalf("summary = %q", sum)
+	}
+}

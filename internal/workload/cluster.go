@@ -1,0 +1,399 @@
+// Package workload is the experiment harness: it assembles topology, fabric,
+// NICs, Themis and collective schedules into the paper's experiments and
+// collects the metrics each figure reports.
+//
+// The two experiment families are:
+//
+//   - RunMotivation — the §2.2 motivation study (Fig. 1): two 4-node ring
+//     groups over a 100 Gbps leaf-spine with random packet spraying, showing
+//     the spurious-retransmission ratio (1b), NACK-driven rate drops (1c)
+//     and the throughput gap to an ideal transport (1d).
+//
+//   - RunCollective — the §5 evaluation (Fig. 5): 16 groups × 16 NICs on a
+//     16×16 400 Gbps leaf-spine running ring Allreduce or Alltoall under
+//     ECMP / adaptive routing / Themis across DCQCN (TI, TD) settings,
+//     reporting the slowest group's communication completion time.
+package workload
+
+import (
+	"fmt"
+
+	"themis/internal/collective"
+	"themis/internal/core"
+	"themis/internal/fabric"
+	"themis/internal/lb"
+	"themis/internal/packet"
+	"themis/internal/rnic"
+	"themis/internal/sim"
+	"themis/internal/topo"
+	"themis/internal/trace"
+)
+
+// LBMode selects the load-balancing arm of an experiment.
+type LBMode int
+
+const (
+	// ECMP is flow-level hashing (the deployed default).
+	ECMP LBMode = iota
+	// RandomSpray is per-packet uniform spraying (RPS).
+	RandomSpray
+	// Adaptive is per-packet least-queue adaptive routing (AR).
+	Adaptive
+	// Flowlet is flowlet switching.
+	Flowlet
+	// SprayNoThemis applies the PSN-based spraying policy with no Themis-D
+	// filtering — the "direct combination" the paper's deltas are against.
+	SprayNoThemis
+	// Themis installs the full middleware: Themis-S spraying at source ToRs
+	// and Themis-D NACK filtering + compensation at destination ToRs.
+	Themis
+)
+
+// String returns the arm mnemonic.
+func (m LBMode) String() string {
+	switch m {
+	case ECMP:
+		return "ecmp"
+	case RandomSpray:
+		return "rps"
+	case Adaptive:
+		return "adaptive"
+	case Flowlet:
+		return "flowlet"
+	case SprayNoThemis:
+		return "spray-nothemis"
+	case Themis:
+		return "themis"
+	default:
+		return fmt.Sprintf("LBMode(%d)", int(m))
+	}
+}
+
+// ClusterConfig describes one simulated cluster.
+type ClusterConfig struct {
+	Seed int64
+
+	// Topology: leaf-spine unless FatTreeK > 0.
+	Leaves, Spines, HostsPerLeaf int
+	FatTreeK                     int
+	Bandwidth                    int64        // all links
+	LinkDelay                    sim.Duration // per-hop propagation
+
+	// Switch.
+	BufferBytes int  // default 64 MB (the paper's switch buffer)
+	DisableECN  bool // ECN marking is on by default (DCQCN needs it)
+	DisablePFC  bool // PFC is on by default (RoCE fabrics run lossless)
+
+	// Load balancing.
+	LB         LBMode
+	FlowletGap sim.Duration // default 50 us
+
+	// NIC / transport.
+	Transport  rnic.Transport
+	MTU        int
+	BurstBytes int // default 16 KB pacer bursts
+	RTO        sim.Duration
+	AckEvery   int
+	DisableCC  bool
+	TI, TD     sim.Duration // DCQCN knobs (Fig. 5 sweep)
+	NackFactor float64      // DCQCN NACK-cut factor (default cc's 0.75)
+
+	// Themis middleware (used when LB == Themis).
+	ThemisCfg core.Config
+
+	// Tracer, if non-nil, records packet and middleware events for
+	// debugging (see internal/trace).
+	Tracer *trace.Tracer
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 400e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = sim.Microsecond
+	}
+	if c.BufferBytes == 0 {
+		c.BufferBytes = 64 << 20
+	}
+	if c.BurstBytes == 0 {
+		c.BurstBytes = 16 << 10
+	}
+	if c.FlowletGap == 0 {
+		c.FlowletGap = 50 * sim.Microsecond
+	}
+	return c
+}
+
+func (c ClusterConfig) selector() func() lb.Selector {
+	switch c.LB {
+	case ECMP, Themis:
+		// Themis steers via the ToR pipeline; non-steered traffic (e.g.
+		// unregistered or fallback flows) uses ECMP.
+		return func() lb.Selector { return lb.ECMP{} }
+	case RandomSpray:
+		return func() lb.Selector { return lb.RandomSpray{} }
+	case Adaptive:
+		return func() lb.Selector { return lb.Adaptive{} }
+	case Flowlet:
+		gap := c.FlowletGap
+		return func() lb.Selector { return lb.NewFlowlet(gap) }
+	case SprayNoThemis:
+		return func() lb.Selector { return lb.PSNSpray{} }
+	default:
+		panic(fmt.Sprintf("workload: unknown LB mode %d", int(c.LB)))
+	}
+}
+
+// Cluster is a fully wired simulation instance.
+type Cluster struct {
+	Config ClusterConfig
+	Engine *sim.Engine
+	Topo   *topo.Topology
+	Net    *fabric.Network
+	NICs   []*rnic.NIC
+	Themis map[int]*core.Themis // per-ToR middleware (LB == Themis only)
+
+	nextQP    packet.QPID
+	nextSport uint16
+	conns     map[[2]packet.NodeID]*Conn
+}
+
+// BuildCluster assembles a cluster from the configuration.
+func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	var t *topo.Topology
+	var err error
+	if cfg.FatTreeK > 0 {
+		t, err = topo.NewFatTree(topo.FatTreeConfig{
+			K:          cfg.FatTreeK,
+			HostLink:   topo.LinkSpec{Bandwidth: cfg.Bandwidth, Delay: cfg.LinkDelay},
+			FabricLink: topo.LinkSpec{Bandwidth: cfg.Bandwidth, Delay: cfg.LinkDelay},
+		})
+	} else {
+		t, err = topo.NewLeafSpine(topo.LeafSpineConfig{
+			Leaves: cfg.Leaves, Spines: cfg.Spines, HostsPerLeaf: cfg.HostsPerLeaf,
+			HostLink:   topo.LinkSpec{Bandwidth: cfg.Bandwidth, Delay: cfg.LinkDelay},
+			FabricLink: topo.LinkSpec{Bandwidth: cfg.Bandwidth, Delay: cfg.LinkDelay},
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	fcfg := fabric.Config{
+		BufferBytes:     cfg.BufferBytes,
+		ControlLossless: true,
+		NewDataSelector: cfg.selector(),
+		Tracer:          cfg.Tracer,
+	}
+	if !cfg.DisableECN {
+		fcfg.ECN = fabric.DefaultECN(cfg.Bandwidth)
+	}
+	if !cfg.DisablePFC {
+		fcfg.PFC = fabric.DefaultPFC(cfg.Bandwidth)
+	}
+	net := fabric.NewNetwork(engine, t, fcfg)
+
+	cl := &Cluster{
+		Config:    cfg,
+		Engine:    engine,
+		Topo:      t,
+		Net:       net,
+		Themis:    make(map[int]*core.Themis),
+		nextQP:    1,
+		nextSport: 1000,
+		conns:     make(map[[2]packet.NodeID]*Conn),
+	}
+
+	ncfg := rnic.Config{
+		MTU:        cfg.MTU,
+		Transport:  cfg.Transport,
+		LineRate:   cfg.Bandwidth,
+		DisableCC:  cfg.DisableCC,
+		RTO:        cfg.RTO,
+		AckEvery:   cfg.AckEvery,
+		BurstBytes: cfg.BurstBytes,
+	}
+	ncfg.CC.LineRate = cfg.Bandwidth
+	ncfg.CC.TI = cfg.TI
+	ncfg.CC.TD = cfg.TD
+	ncfg.CC.NackFactor = cfg.NackFactor
+	for h := 0; h < t.NumHosts(); h++ {
+		id := packet.NodeID(h)
+		nic := rnic.New(engine, id, ncfg, func(p *packet.Packet) { net.Inject(id, p) })
+		net.AttachHost(id, nic.HandlePacket)
+		cl.NICs = append(cl.NICs, nic)
+	}
+
+	if cfg.LB == Themis {
+		tcfg := cfg.ThemisCfg
+		if cfg.FatTreeK > 0 && tcfg.Mode == core.DirectSpray {
+			tcfg.Mode = core.PathMapSpray
+		}
+		if cfg.Tracer != nil && tcfg.Tracer == nil {
+			tcfg.Tracer = cfg.Tracer
+			tcfg.Clock = engine
+		}
+		for _, sw := range t.Switches() {
+			if sw.Tier == 0 && len(sw.Hosts()) > 0 {
+				th := core.New(t, sw.ID, tcfg)
+				net.SetTorPipeline(sw.ID, th)
+				cl.Themis[sw.ID] = th
+			}
+		}
+	}
+	return cl, nil
+}
+
+// Conn returns (creating on first use) the reliable connection from src to
+// dst — one QP plus Themis registration when the middleware is deployed.
+func (cl *Cluster) Conn(src, dst packet.NodeID) *Conn {
+	key := [2]packet.NodeID{src, dst}
+	if cn, ok := cl.conns[key]; ok {
+		return cn
+	}
+	qp := cl.nextQP
+	cl.nextQP++
+	sport := cl.nextSport
+	cl.nextSport++
+	s := cl.NICs[src].OpenSender(qp, dst, sport)
+	r := cl.NICs[dst].OpenReceiver(qp, src, sport)
+	for _, th := range cl.Themis {
+		if err := th.RegisterFlow(qp, src, dst, sport); err != nil {
+			panic(err) // config error (e.g. direct spray on fat-tree): fail loudly
+		}
+	}
+	cn := &Conn{Sender: s, Receiver: r}
+	r.OnDeliver = cn.onDeliver
+	cl.conns[key] = cn
+	return cn
+}
+
+// Conns returns all connections created so far.
+func (cl *Cluster) Conns() []*Conn {
+	out := make([]*Conn, 0, len(cl.conns))
+	for _, cn := range cl.conns {
+		out = append(out, cn)
+	}
+	return out
+}
+
+// Mesh adapts a host list to a collective.Mesh over this cluster.
+func (cl *Cluster) Mesh(hosts []packet.NodeID) collective.Mesh {
+	return clusterMesh{cl: cl, hosts: hosts}
+}
+
+type clusterMesh struct {
+	cl    *Cluster
+	hosts []packet.NodeID
+}
+
+func (m clusterMesh) Conn(src, dst int) collective.Conn {
+	return m.cl.Conn(m.hosts[src], m.hosts[dst])
+}
+
+// Run drives the simulation until the event queue drains or the horizon is
+// reached, returning the final virtual time.
+func (cl *Cluster) Run(horizon sim.Duration) sim.Time {
+	return cl.Engine.Run(sim.Time(horizon))
+}
+
+// FailLink takes the fabric link at (sw, port) down and simulates the §6
+// monitoring-tool reaction (Pingmesh-style detection): every Themis instance
+// disables itself, reverting the whole fabric to ECMP. Cluster-wide disable
+// is required for correctness, not just at the adjacent ToR: PSN-based
+// spraying is deterministic, so any source ToR left spraying would keep
+// steering the same PSN residues into the dead path forever.
+func (cl *Cluster) FailLink(sw, port int) {
+	cl.Net.SetLinkState(sw, port, false)
+	for _, th := range cl.Themis {
+		th.SetDisabled(true)
+	}
+}
+
+// RepairLink restores the link and re-enables the middleware. It assumes
+// this was the only outstanding failure.
+func (cl *Cluster) RepairLink(sw, port int) {
+	cl.Net.SetLinkState(sw, port, true)
+	for _, th := range cl.Themis {
+		th.SetDisabled(false)
+	}
+}
+
+// AggregateSenderStats sums sender-side stats over all connections.
+func (cl *Cluster) AggregateSenderStats() rnic.SenderStats {
+	var agg rnic.SenderStats
+	for _, cn := range cl.conns {
+		st := cn.Sender.Stats()
+		agg.DataPackets += st.DataPackets
+		agg.Retransmits += st.Retransmits
+		agg.BytesSent += st.BytesSent
+		agg.GoodputBytes += st.GoodputBytes
+		agg.AcksRx += st.AcksRx
+		agg.NacksRx += st.NacksRx
+		agg.CnpsRx += st.CnpsRx
+		agg.Timeouts += st.Timeouts
+		agg.Completions += st.Completions
+	}
+	return agg
+}
+
+// ThemisStats sums middleware stats over all ToRs.
+func (cl *Cluster) ThemisStats() core.Stats {
+	var agg core.Stats
+	for _, th := range cl.Themis {
+		st := th.Stats()
+		agg.Sprayed += st.Sprayed
+		agg.NacksSeen += st.NacksSeen
+		agg.NacksForwarded += st.NacksForwarded
+		agg.NacksBlocked += st.NacksBlocked
+		agg.Compensations += st.Compensations
+		agg.CompensationCancelled += st.CompensationCancelled
+		agg.ScanMisses += st.ScanMisses
+		agg.RingOverflows += st.RingOverflows
+		agg.Bypassed += st.Bypassed
+	}
+	return agg
+}
+
+// Conn adapts one QP pair to collective.Conn and tracks in-order delivery
+// thresholds.
+type Conn struct {
+	Sender   *rnic.SenderQP
+	Receiver *rnic.ReceiverQP
+
+	recvBytes int64
+	notifies  []connNotify
+}
+
+type connNotify struct {
+	threshold int64
+	fn        func()
+}
+
+// Send implements collective.Conn.
+func (cn *Conn) Send(bytes int64, sentDone func()) {
+	cn.Sender.SendMessage(bytes, sentDone)
+}
+
+// NotifyRecv implements collective.Conn.
+func (cn *Conn) NotifyRecv(threshold int64, fn func()) {
+	if cn.recvBytes >= threshold {
+		fn()
+		return
+	}
+	cn.notifies = append(cn.notifies, connNotify{threshold, fn})
+}
+
+// RecvBytes returns the in-order bytes delivered so far.
+func (cn *Conn) RecvBytes() int64 { return cn.recvBytes }
+
+func (cn *Conn) onDeliver(_ sim.Time, _ uint32, payload int) {
+	cn.recvBytes += int64(payload)
+	for len(cn.notifies) > 0 && cn.notifies[0].threshold <= cn.recvBytes {
+		fn := cn.notifies[0].fn
+		cn.notifies = cn.notifies[1:]
+		fn()
+	}
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+
+	"themis/internal/collective"
+	"themis/internal/core"
+	"themis/internal/packet"
+	"themis/internal/rnic"
+	"themis/internal/sim"
+)
+
+// CollectiveConfig parameterizes the §5 evaluation (Fig. 5): synchronized
+// collective communication across groups that each span all racks.
+type CollectiveConfig struct {
+	Seed    int64
+	Pattern collective.Pattern
+	// MessageBytes is the per-group collective size S (paper: 300 MB).
+	MessageBytes int64
+	// Topology (defaults: the paper's 16×16 leaf-spine at 400 Gbps with 16
+	// hosts per leaf = 256 NICs).
+	Leaves, Spines, HostsPerLeaf int
+	Bandwidth                    int64
+	// Groups is the number of communication groups; group g consists of
+	// host g of every leaf, so every group spans all racks and GroupSize ==
+	// Leaves. Defaults to HostsPerLeaf (every NIC participates).
+	Groups int
+	// Experiment arms.
+	LB        LBMode
+	Transport rnic.Transport
+	TI, TD    sim.Duration // DCQCN sweep knobs
+	// Mechanics.
+	BurstBytes  int
+	BufferBytes int          // switch shared buffer (default 64 MB)
+	Horizon     sim.Duration // simulation cap (default 30 s)
+	DisablePFC  bool         // run a lossy fabric (PFC is on by default)
+	ThemisCfg   core.Config
+}
+
+func (c CollectiveConfig) withDefaults() CollectiveConfig {
+	if c.MessageBytes == 0 {
+		c.MessageBytes = 300 << 20
+	}
+	if c.Leaves == 0 {
+		c.Leaves = 16
+	}
+	if c.Spines == 0 {
+		c.Spines = 16
+	}
+	if c.HostsPerLeaf == 0 {
+		c.HostsPerLeaf = 16
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 400e9
+	}
+	if c.Groups == 0 {
+		c.Groups = c.HostsPerLeaf
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 30 * sim.Second
+	}
+	return c
+}
+
+// CollectiveResult carries one Fig. 5 data point.
+type CollectiveResult struct {
+	// TailCCT is the completion time of the slowest group — the paper's
+	// metric ("the training job's communication bottleneck").
+	TailCCT sim.Time
+	// GroupCCT is each group's completion time.
+	GroupCCT []sim.Time
+	// Sender aggregates transport counters over all QPs.
+	Sender rnic.SenderStats
+	// Middleware aggregates Themis counters (zero unless LB == Themis).
+	Middleware core.Stats
+}
+
+// RetransRatio is the fraction of transmitted data packets that were
+// retransmissions.
+func (r *CollectiveResult) RetransRatio() float64 {
+	if r.Sender.DataPackets == 0 {
+		return 0
+	}
+	return float64(r.Sender.Retransmits) / float64(r.Sender.DataPackets)
+}
+
+// GroupHosts returns the members of group g: host g of every leaf, i.e. one
+// NIC per rack (§5's group construction).
+func GroupHosts(leaves, hostsPerLeaf, g int) []packet.NodeID {
+	hosts := make([]packet.NodeID, leaves)
+	for l := 0; l < leaves; l++ {
+		hosts[l] = packet.NodeID(l*hostsPerLeaf + g)
+	}
+	return hosts
+}
+
+// RunCollective executes one Fig. 5 cell: all groups start the same
+// collective simultaneously; the result records per-group and tail CCT.
+func RunCollective(cfg CollectiveConfig) (*CollectiveResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Groups > cfg.HostsPerLeaf {
+		return nil, fmt.Errorf("workload: %d groups need at most HostsPerLeaf=%d", cfg.Groups, cfg.HostsPerLeaf)
+	}
+	cl, err := BuildCluster(ClusterConfig{
+		Seed:         cfg.Seed,
+		Leaves:       cfg.Leaves,
+		Spines:       cfg.Spines,
+		HostsPerLeaf: cfg.HostsPerLeaf,
+		Bandwidth:    cfg.Bandwidth,
+		LB:           cfg.LB,
+		Transport:    cfg.Transport,
+		TI:           cfg.TI,
+		TD:           cfg.TD,
+		BurstBytes:   cfg.BurstBytes,
+		BufferBytes:  cfg.BufferBytes,
+		DisablePFC:   cfg.DisablePFC,
+		ThemisCfg:    cfg.ThemisCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CollectiveResult{GroupCCT: make([]sim.Time, cfg.Groups)}
+	remaining := cfg.Groups
+	for g := 0; g < cfg.Groups; g++ {
+		g := g
+		hosts := GroupHosts(cfg.Leaves, cfg.HostsPerLeaf, g)
+		collective.Run(cfg.Pattern, cl.Mesh(hosts), len(hosts), cfg.MessageBytes, func() {
+			res.GroupCCT[g] = cl.Engine.Now()
+			remaining--
+			if remaining == 0 {
+				cl.Engine.Stop()
+			}
+		})
+	}
+	end := cl.Run(cfg.Horizon)
+	cl.Engine.RunAll() // drain in-flight control traffic and timers
+
+	if remaining != 0 {
+		return nil, fmt.Errorf("workload: collective incomplete: %d groups unfinished at %v (pattern=%v lb=%v)", remaining, end, cfg.Pattern, cfg.LB)
+	}
+	res.TailCCT = maxTime(res.GroupCCT)
+	res.Sender = cl.AggregateSenderStats()
+	res.Middleware = cl.ThemisStats()
+	return res, nil
+}
+
+// DCQCNSetting is one (TI, TD) column of Fig. 5.
+type DCQCNSetting struct {
+	TI, TD sim.Duration
+}
+
+// PaperDCQCNSettings returns the five Fig. 5 configurations, in paper order:
+// (900,4), (300,4), (10,4), (10,50), (10,200) microseconds.
+func PaperDCQCNSettings() []DCQCNSetting {
+	us := sim.Microsecond
+	return []DCQCNSetting{
+		{900 * us, 4 * us},
+		{300 * us, 4 * us},
+		{10 * us, 4 * us},
+		{10 * us, 50 * us},
+		{10 * us, 200 * us},
+	}
+}
+
+// Fig5Arms returns the three compared systems, in paper order.
+func Fig5Arms() []LBMode { return []LBMode{ECMP, Adaptive, Themis} }

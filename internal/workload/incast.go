@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+// IncastConfig parameterizes a many-to-one stress test: every other host
+// sends MessageBytes to host 0 simultaneously. Incast is not one of the
+// paper's headline workloads but is the regime that stresses two substrate
+// properties Themis relies on: PFC's losslessness (drops would turn every
+// blocked NACK into a compensation or timeout) and the strict-priority
+// control class (NACK return latency bounds the §3.3 ring sizing).
+type IncastConfig struct {
+	Seed         int64
+	Senders      int   // fan-in degree (default 15)
+	MessageBytes int64 // per sender (default 2 MB)
+	Bandwidth    int64 // default 100 Gbps
+	LinkDelay    sim.Duration
+	BufferBytes  int // switch shared buffer (default 64 MB)
+	LB           LBMode
+	DisablePFC   bool
+	Horizon      sim.Duration
+}
+
+func (c IncastConfig) withDefaults() IncastConfig {
+	if c.Senders == 0 {
+		c.Senders = 15
+	}
+	if c.MessageBytes == 0 {
+		c.MessageBytes = 2 << 20
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 100e9
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 30 * sim.Second
+	}
+	return c
+}
+
+// IncastResult carries the incast measurements.
+type IncastResult struct {
+	CCT         sim.Time // when the last sender's message is acknowledged
+	Drops       uint64
+	Pauses      uint64 // PFC pause frames sent by the destination ToR
+	Sender      SenderAgg
+	GoodputGbps float64 // receiver goodput over the completion time
+}
+
+// SenderAgg is the aggregate sender-side counters of an incast run.
+type SenderAgg struct {
+	Retransmits uint64
+	Timeouts    uint64
+	NacksRx     uint64
+}
+
+// RunIncast places each sender on its own rack (Senders+1 leaves, one host
+// each) so every flow crosses the fabric, then blasts them all at host 0.
+func RunIncast(cfg IncastConfig) (*IncastResult, error) {
+	cfg = cfg.withDefaults()
+	cl, err := BuildCluster(ClusterConfig{
+		Seed:         cfg.Seed,
+		Leaves:       cfg.Senders + 1,
+		Spines:       cfg.Senders + 1,
+		HostsPerLeaf: 1,
+		Bandwidth:    cfg.Bandwidth,
+		LinkDelay:    cfg.LinkDelay,
+		BufferBytes:  cfg.BufferBytes,
+		LB:           cfg.LB,
+		DisablePFC:   cfg.DisablePFC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &IncastResult{}
+	done := 0
+	for h := 1; h <= cfg.Senders; h++ {
+		cl.Conn(packet.NodeID(h), 0).Send(cfg.MessageBytes, func() {
+			done++
+			if cl.Engine.Now() > res.CCT {
+				res.CCT = cl.Engine.Now()
+			}
+			if done == cfg.Senders {
+				cl.Engine.Stop()
+			}
+		})
+	}
+	end := cl.Run(cfg.Horizon)
+	cl.Engine.RunAll()
+	if done != cfg.Senders {
+		return nil, fmt.Errorf("workload: incast incomplete: %d/%d senders at %v", done, cfg.Senders, end)
+	}
+	agg := cl.AggregateSenderStats()
+	res.Sender = SenderAgg{Retransmits: agg.Retransmits, Timeouts: agg.Timeouts, NacksRx: agg.NacksRx}
+	res.Drops = cl.Net.Counters().DataDrops
+	res.Pauses, _ = cl.Net.PFCStats(cl.Topo.ToROf(0))
+	total := float64(cfg.MessageBytes) * float64(cfg.Senders)
+	res.GoodputGbps = total * 8 / res.CCT.Seconds() / 1e9
+	return res, nil
+}
