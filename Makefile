@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The chaos and middleware packages are the ones with event-driven callback
+# webs; run them under the race detector even though the simulator is
+# single-threaded — it catches accidental goroutine leaks in new code.
+race:
+	$(GO) test -race ./internal/chaos/... ./internal/core/...
+
+# verify is the full pre-merge recipe.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -177,6 +177,38 @@ func BenchmarkExt_LinkFailure(b *testing.B) {
 	}
 }
 
+// BenchmarkExt_Chaos runs a slice of the deterministic fault-injection soak
+// (internal/chaos): seeded scenarios mixing link flaps, drop/corruption
+// rates, control-plane loss, ToR reboots and blackholes against the hardened
+// cluster, asserting the graceful-degradation invariants on every run.
+func BenchmarkExt_Chaos(b *testing.B) {
+	const seeds = 8
+	for i := 0; i < b.N; i++ {
+		results, err := themis.ChaosSoak(1, seeds, themis.ChaosOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var end sim.Time
+		var retrans, timeouts uint64
+		for _, res := range results {
+			if len(res.Violations) != 0 {
+				b.Fatalf("%v: %v", res.Scenario, res.Violations)
+			}
+			if res.End > end {
+				end = res.End
+			}
+			retrans += res.Sender.Retransmits
+			timeouts += res.Sender.Timeouts
+		}
+		if i == 0 {
+			fmt.Printf("\n# Chaos soak: %d seeded fault scenarios, invariants audited\n", seeds)
+			fmt.Printf("worst-case end=%.3fms retransmits=%d timeouts=%d\n",
+				end.Seconds()*1e3, retrans, timeouts)
+		}
+		b.ReportMetric(end.Seconds()*1e3, "worst-ms")
+	}
+}
+
 // BenchmarkExt_RandomLoss measures recovery with random corruption loss:
 // valid NACKs must still pass Themis-D and repair promptly.
 func BenchmarkExt_RandomLoss(b *testing.B) {

@@ -1,0 +1,171 @@
+// Package chaos is a deterministic fault-injection subsystem for the Themis
+// simulator. A Scenario — derived entirely from a seed — schedules faults on
+// the discrete-event engine: link flaps with routing reconvergence, per-link
+// random drop and corruption, control-plane (ACK/NACK/CNP) loss, ToR reboots
+// that wipe the middleware's Fig. 4a state mid-flow, and black-holed ports
+// that silently eat traffic until the monitoring plane notices.
+//
+// The point of the package is the paper's §6 robustness story made
+// executable: under every generated fault schedule the system must degrade
+// gracefully — every message completes, no QP wedges, Themis never leaks
+// ring state, and every compensation NACK corresponds to a previously
+// blocked NACK. RunScenario wires a cluster, injects the scenario and checks
+// those invariants; a violating seed reproduces the exact run.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"themis/internal/sim"
+	"themis/internal/topo"
+)
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind int
+
+const (
+	// LinkFlap takes a fabric link down at At and repairs it At+Duration
+	// later, driving the §6 monitoring-plane reaction both ways (Themis
+	// disables cluster-wide, routing reconverges, then recovers).
+	LinkFlap FaultKind = iota
+	// DropRate drops each data packet crossing the target link with
+	// probability Rate during [At, At+Duration).
+	DropRate
+	// CorruptRate models bit corruption on the target link: a corrupted
+	// packet fails its ICRC at the receiver and is discarded, so on the wire
+	// it is indistinguishable from a drop — but it is generated as a
+	// distinct class because real fabrics exhibit both independently.
+	CorruptRate
+	// CtrlLoss drops each control packet (ACK/NACK/CNP) fabric-wide with
+	// probability Rate during [At, At+Duration). Requires a cluster built
+	// with LossyControl (the harness's default).
+	CtrlLoss
+	// TorReboot power-cycles the Themis instance on switch Sw at At: flow
+	// table and ring queues are lost mid-flow (core.Themis.Reboot).
+	TorReboot
+	// Blackhole silently drops everything on the target link from At until
+	// the monitoring plane detects it At+Duration later and fails the link
+	// over (FailLink); the link is repaired another Duration after that.
+	Blackhole
+)
+
+// String returns the fault mnemonic.
+func (k FaultKind) String() string {
+	switch k {
+	case LinkFlap:
+		return "link-flap"
+	case DropRate:
+		return "drop-rate"
+	case CorruptRate:
+		return "corrupt-rate"
+	case CtrlLoss:
+		return "ctrl-loss"
+	case TorReboot:
+		return "tor-reboot"
+	case Blackhole:
+		return "blackhole"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault. Sw/Port identify the target fabric link
+// (TorReboot uses only Sw; CtrlLoss ignores both and applies fabric-wide).
+type Fault struct {
+	Kind     FaultKind
+	At       sim.Duration // injection time
+	Duration sim.Duration // outage / active window / detection latency
+	Sw, Port int
+	Rate     float64 // drop probability for the rate-based kinds
+}
+
+// String renders the fault compactly.
+func (f Fault) String() string {
+	switch f.Kind {
+	case TorReboot:
+		return fmt.Sprintf("%v@%v sw%d", f.Kind, f.At, f.Sw)
+	case CtrlLoss:
+		return fmt.Sprintf("%v@%v+%v p=%.3f", f.Kind, f.At, f.Duration, f.Rate)
+	case DropRate, CorruptRate:
+		return fmt.Sprintf("%v@%v+%v sw%d.%d p=%.3f", f.Kind, f.At, f.Duration, f.Sw, f.Port, f.Rate)
+	default:
+		return fmt.Sprintf("%v@%v+%v sw%d.%d", f.Kind, f.At, f.Duration, f.Sw, f.Port)
+	}
+}
+
+// Scenario is a seeded fault schedule. Everything about a run — the fault
+// schedule, every probabilistic drop decision, and the workload — derives
+// from Seed, so a scenario that violates an invariant replays exactly.
+type Scenario struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// String renders the scenario for failure reports.
+func (s Scenario) String() string {
+	out := fmt.Sprintf("seed %d:", s.Seed)
+	for _, f := range s.Faults {
+		out += " [" + f.String() + "]"
+	}
+	return out
+}
+
+// Generate derives a scenario deterministically from seed for the given
+// topology: one to three faults drawn over the fabric links and ToR
+// switches, with injection times spread across the early life of the
+// transfers so faults land mid-flow.
+func Generate(seed int64, tp *topo.Topology) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	links := fabricLinks(tp)
+	tors := torSwitches(tp)
+	n := 1 + rng.Intn(3)
+	sc := Scenario{Seed: seed}
+	for i := 0; i < n; i++ {
+		kind := FaultKind(rng.Intn(int(Blackhole) + 1))
+		f := Fault{
+			Kind:     kind,
+			At:       sim.Duration(10+rng.Intn(150)) * sim.Microsecond,
+			Duration: sim.Duration(20+rng.Intn(180)) * sim.Microsecond,
+		}
+		switch kind {
+		case TorReboot:
+			f.Sw = tors[rng.Intn(len(tors))]
+		case CtrlLoss:
+			f.Sw, f.Port = -1, -1
+			f.Rate = 0.002 + 0.02*rng.Float64()
+		default:
+			l := links[rng.Intn(len(links))]
+			f.Sw, f.Port = l[0], l[1]
+			if kind == DropRate || kind == CorruptRate {
+				f.Rate = 0.001 + 0.02*rng.Float64()
+			}
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	return sc
+}
+
+// fabricLinks lists every (switch, port) fabric link endpoint.
+func fabricLinks(tp *topo.Topology) [][2]int {
+	var links [][2]int
+	for _, sw := range tp.Switches() {
+		for pi := range sw.Ports {
+			if !sw.Ports[pi].IsHostPort() {
+				links = append(links, [2]int{sw.ID, pi})
+			}
+		}
+	}
+	return links
+}
+
+// torSwitches lists the switches that can host a Themis instance.
+func torSwitches(tp *topo.Topology) []int {
+	var tors []int
+	for _, sw := range tp.Switches() {
+		if sw.Tier == 0 && len(sw.Hosts()) > 0 {
+			tors = append(tors, sw.ID)
+		}
+	}
+	return tors
+}

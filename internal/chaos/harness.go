@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"fmt"
+
+	"themis/internal/core"
+	"themis/internal/fabric"
+	"themis/internal/packet"
+	"themis/internal/rnic"
+	"themis/internal/sim"
+	"themis/internal/trace"
+	"themis/internal/workload"
+)
+
+// Options parameterizes the scenario harness. The defaults are a small
+// cross-rack workload on a 3×3 leaf-spine — big enough for every fault kind
+// to matter, small enough that a 50-seed soak stays cheap.
+type Options struct {
+	Leaves, Spines, HostsPerLeaf int
+	Bandwidth                    int64
+	Flows                        int          // cross-rack ring flows (default one per host)
+	MessageBytes                 int64        // per-flow transfer (default 2 MB)
+	Horizon                      sim.Duration // wall guard (default 2 s virtual)
+	Tracer                       *trace.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Leaves == 0 {
+		o.Leaves = 3
+	}
+	if o.Spines == 0 {
+		o.Spines = 3
+	}
+	if o.HostsPerLeaf == 0 {
+		o.HostsPerLeaf = 2
+	}
+	if o.Bandwidth == 0 {
+		o.Bandwidth = 100e9
+	}
+	if o.Flows == 0 {
+		o.Flows = o.Leaves * o.HostsPerLeaf
+	}
+	if o.MessageBytes == 0 {
+		// Large enough that the 10–160 us fault window lands mid-flow.
+		o.MessageBytes = 2 << 20
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 2 * sim.Second
+	}
+	return o
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Scenario   Scenario
+	End        sim.Time // drain time of the last event
+	Sender     rnic.SenderStats
+	Middleware core.Stats
+	Net        fabric.Counters
+	Violations []string // empty = all invariants held
+}
+
+// BuildCluster assembles the hardened cluster the harness runs scenarios
+// against: Themis with lazy state relearning, exponential RTO backoff on the
+// NICs, and a lossy control class so control-plane faults are injectable.
+// Exported so the CLI and benchmarks run exactly what the soak tests run.
+func BuildCluster(sc Scenario, opt Options) (*workload.Cluster, error) {
+	opt = opt.withDefaults()
+	return workload.BuildCluster(workload.ClusterConfig{
+		Seed:         sc.Seed,
+		Leaves:       opt.Leaves,
+		Spines:       opt.Spines,
+		HostsPerLeaf: opt.HostsPerLeaf,
+		Bandwidth:    opt.Bandwidth,
+		LB:           workload.Themis,
+		LossyControl: true,
+		RTO:          200 * sim.Microsecond,
+		RTOBackoff:   2,
+		RTOMax:       10 * sim.Millisecond,
+		ThemisCfg:    core.Config{Relearn: true},
+		Tracer:       opt.Tracer,
+	})
+}
+
+// RunScenario executes one scenario: build the hardened cluster, install the
+// injector, start a cross-rack ring of transfers, run to drain and audit the
+// invariants. The same (scenario, options) pair always produces the same
+// Result.
+func RunScenario(sc Scenario, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	cl, err := BuildCluster(sc, opt)
+	if err != nil {
+		return nil, err
+	}
+	NewInjector(cl, sc).Install()
+
+	// Cross-rack ring: host i sends to the same-index host of the next leaf,
+	// so every flow traverses the fabric and every ToR plays both roles.
+	nHosts := cl.Topo.NumHosts()
+	remaining := opt.Flows
+	for i := 0; i < opt.Flows; i++ {
+		src := packet.NodeID(i % nHosts)
+		dst := packet.NodeID((i + opt.HostsPerLeaf) % nHosts)
+		cl.Conn(src, dst).Send(opt.MessageBytes, func() {
+			remaining--
+			if remaining == 0 {
+				cl.Engine.Stop()
+			}
+		})
+	}
+
+	end := cl.Run(opt.Horizon)
+	cl.Engine.RunAll()
+	res := &Result{
+		Scenario:   sc,
+		End:        end,
+		Sender:     cl.AggregateSenderStats(),
+		Middleware: cl.ThemisStats(),
+		Net:        cl.Net.Counters(),
+		Violations: CheckInvariants(cl, remaining),
+	}
+	return res, nil
+}
+
+// Soak generates and runs scenarios for seeds [first, first+count) and
+// returns the results. It stops early only on harness errors (config bugs),
+// never on invariant violations — those are reported per result so a sweep
+// surfaces every bad seed at once.
+func Soak(first int64, count int, opt Options) ([]*Result, error) {
+	opt = opt.withDefaults()
+	// The generator needs the topology; build a throwaway cluster once.
+	probe, err := BuildCluster(Scenario{Seed: first}, opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for i := 0; i < count; i++ {
+		seed := first + int64(i)
+		sc := Generate(seed, probe.Topo)
+		res, err := RunScenario(sc, opt)
+		if err != nil {
+			return out, fmt.Errorf("chaos: seed %d: %w", seed, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

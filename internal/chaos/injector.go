@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/trace"
+	"themis/internal/workload"
+)
+
+// lossRule is one time-windowed probabilistic drop rule. The injector's
+// LossFunc is the union of the active rules.
+type lossRule struct {
+	from, to  sim.Time
+	sw, port  int // -1 wildcards
+	ctrl, dat bool
+	rate      float64
+}
+
+func (r *lossRule) matches(now sim.Time, pkt *packet.Packet, sw, port int) bool {
+	if now < r.from || now >= r.to {
+		return false
+	}
+	if r.sw >= 0 && r.sw != sw {
+		return false
+	}
+	if r.port >= 0 && r.port != port {
+		return false
+	}
+	if pkt.Kind.IsControl() {
+		return r.ctrl
+	}
+	return r.dat
+}
+
+// Injector realizes a Scenario on a workload.Cluster: it installs a composed
+// fabric LossFunc for the rate-based faults and schedules the discrete
+// faults (flaps, reboots, blackhole detection) on the cluster's engine.
+// Every probabilistic decision draws from a rand.Rand seeded with the
+// scenario seed, so two runs of the same scenario are identical.
+type Injector struct {
+	cl    *workload.Cluster
+	sc    Scenario
+	rng   *rand.Rand
+	rules []*lossRule
+}
+
+// NewInjector prepares (but does not install) the injector.
+func NewInjector(cl *workload.Cluster, sc Scenario) *Injector {
+	return &Injector{cl: cl, sc: sc, rng: rand.New(rand.NewSource(sc.Seed))}
+}
+
+// Install wires the scenario into the cluster. Must be called before the
+// simulation runs (fault times are absolute). It replaces the network's
+// LossFunc.
+func (in *Injector) Install() {
+	eng := in.cl.Engine
+	for _, f := range in.sc.Faults {
+		f := f
+		start := sim.Time(f.At)
+		end := sim.Time(f.At + f.Duration)
+		switch f.Kind {
+		case LinkFlap:
+			eng.At(start, func() {
+				in.recordFault(trace.FaultLinkDown, f.Sw, f.Port)
+				in.cl.FailLink(f.Sw, f.Port)
+			})
+			eng.At(end, func() {
+				in.recordFault(trace.FaultLinkUp, f.Sw, f.Port)
+				in.cl.RepairLink(f.Sw, f.Port)
+			})
+		case DropRate, CorruptRate:
+			in.rules = append(in.rules, &lossRule{
+				from: start, to: end, sw: f.Sw, port: f.Port, dat: true, rate: f.Rate,
+			})
+		case CtrlLoss:
+			in.rules = append(in.rules, &lossRule{
+				from: start, to: end, sw: -1, port: -1, ctrl: true, rate: f.Rate,
+			})
+		case TorReboot:
+			eng.At(start, func() { in.cl.RebootToR(f.Sw) })
+		case Blackhole:
+			// Silent loss until the monitoring plane detects the port at
+			// At+Duration and fails it over; repaired one detection window
+			// later. The rule covers only the silent phase — once the link
+			// is administratively down the fabric drops at the queue head.
+			in.rules = append(in.rules, &lossRule{
+				from: start, to: end, sw: f.Sw, port: f.Port, ctrl: true, dat: true, rate: 1,
+			})
+			eng.At(end, func() {
+				in.recordFault(trace.FaultLinkDown, f.Sw, f.Port)
+				in.cl.FailLink(f.Sw, f.Port)
+			})
+			eng.At(sim.Time(f.At+2*f.Duration), func() {
+				in.recordFault(trace.FaultLinkUp, f.Sw, f.Port)
+				in.cl.RepairLink(f.Sw, f.Port)
+			})
+		}
+	}
+	if len(in.rules) > 0 {
+		in.cl.Net.SetLossFunc(in.lossFunc)
+	}
+}
+
+// lossFunc is the composed fabric hook: the first active matching rule
+// decides the packet's fate.
+func (in *Injector) lossFunc(pkt *packet.Packet, sw, port int) bool {
+	now := in.cl.Engine.Now()
+	for _, r := range in.rules {
+		if !r.matches(now, pkt, sw, port) {
+			continue
+		}
+		if r.rate >= 1 || in.rng.Float64() < r.rate {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Injector) recordFault(op trace.Op, sw, port int) {
+	if tr := in.cl.Config.Tracer; tr != nil {
+		tr.RecordFault(in.cl.Engine.Now(), op, sw, port)
+	}
+}

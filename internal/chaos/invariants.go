@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"fmt"
+
+	"themis/internal/workload"
+)
+
+// CheckInvariants audits a cluster after a scenario has run to completion
+// (engine drained). remaining is the number of transfers that never
+// completed. The returned strings are human-readable violations; an empty
+// slice means the system degraded gracefully:
+//
+//  1. Every message completes — no fault schedule may wedge a transfer.
+//  2. No QP is stuck with unacknowledged data after the event queue drains.
+//  3. No injected failure is left outstanding (scenarios repair what they
+//     break, so Themis must be re-enabled).
+//  4. Ring queues never hold more entries than their capacity (entries are
+//     evicted, not leaked).
+//  5. Themis-D accounting is closed: every inspected NACK was either
+//     forwarded or blocked, and compensations never exceed blocked NACKs
+//     (a compensation exists only to stand in for a blocked-but-real loss).
+func CheckInvariants(cl *workload.Cluster, remaining int) []string {
+	var v []string
+	if remaining != 0 {
+		v = append(v, fmt.Sprintf("%d transfers never completed", remaining))
+	}
+	for _, cn := range cl.Conns() {
+		if cn.Sender.Outstanding() {
+			v = append(v, fmt.Sprintf("qp %d stuck: unacked data after drain", cn.Sender.QP()))
+		}
+	}
+	if n := cl.FailedLinks(); n != 0 {
+		v = append(v, fmt.Sprintf("%d link failures left outstanding", n))
+	}
+	for sw, th := range cl.Themis {
+		if th.Disabled() && cl.FailedLinks() == 0 {
+			v = append(v, fmt.Sprintf("themis on sw %d still disabled after all repairs", sw))
+		}
+		entries, capacity, _ := th.RingStats()
+		if entries > capacity {
+			v = append(v, fmt.Sprintf("sw %d: ring leak: %d entries > %d capacity", sw, entries, capacity))
+		}
+		st := th.Stats()
+		if st.NacksSeen != st.NacksForwarded+st.NacksBlocked {
+			v = append(v, fmt.Sprintf("sw %d: NACK accounting leak: seen %d != fwd %d + blocked %d",
+				sw, st.NacksSeen, st.NacksForwarded, st.NacksBlocked))
+		}
+		if st.Compensations > st.NacksBlocked {
+			v = append(v, fmt.Sprintf("sw %d: %d compensations > %d blocked NACKs",
+				sw, st.Compensations, st.NacksBlocked))
+		}
+	}
+	return v
+}

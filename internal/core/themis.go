@@ -63,6 +63,15 @@ type Config struct {
 	// be configured identically on the source and destination ToRs of a
 	// flow (it is part of the connection-setup handshake in deployment).
 	PathSubset int
+	// Relearn makes the ToR rebuild per-QP flow state from live traffic
+	// after a state loss (Reboot): a data or NACK packet for an unknown QP
+	// re-registers the flow from its header fields, exactly as the
+	// connection-setup interception would have. The rebuilt Themis-D state
+	// starts with an empty ring and no armed compensation, so the first
+	// NACKs after a reboot fall through the conservative scan-miss path
+	// (forwarded) rather than being blocked — a rebooted ToR can cause
+	// spurious retransmissions but never suppress a valid NACK.
+	Relearn bool
 	// Tracer, if non-nil, records middleware verdicts (spray, block,
 	// forward, compensate); see package trace. Requires Clock.
 	Tracer *trace.Tracer
@@ -81,6 +90,8 @@ type Stats struct {
 	ScanMisses            uint64 // NACKs whose tPSN was not found in the ring
 	RingOverflows         uint64 // ring evictions (undersized queue)
 	Bypassed              uint64 // packets passed through while disabled (failure mode)
+	Reboots               uint64 // simulated state losses (Reboot calls)
+	Relearns              uint64 // flows re-registered from live traffic after a reboot
 }
 
 // flowState is the per-QP state of Table "FlowTable" in Fig. 4a: ring queue
@@ -112,6 +123,10 @@ type Themis struct {
 	srcFlows map[packet.QPID]*flowState
 	// Themis-D state: flows terminating under this ToR.
 	dstFlows map[packet.QPID]*flowState
+	// relearnIgnored caches QPs a relearn attempt declined to register
+	// (same-rack, single-path, or registration error) so the hot path does
+	// not retry them on every packet.
+	relearnIgnored map[packet.QPID]struct{}
 
 	downPorts int
 	disabled  bool // explicit or failure-driven disable
@@ -149,6 +164,76 @@ func (th *Themis) Disabled() bool { return th.disabled }
 // SetDisabled forces the bypass state (used by operators and tests; the §6
 // failure path sets it automatically when FallbackOnFailure is on).
 func (th *Themis) SetDisabled(v bool) { th.disabled = v }
+
+// Reboot simulates a power-cycle of the middleware: the flow table and every
+// per-QP ring queue are lost mid-flow, exactly what a ToR reboot does to the
+// paper's Fig. 4a state. Registered flows become unknown QPs — their NACKs
+// are forwarded unmodified (never blocked) until state is rebuilt, either by
+// re-running connection setup (RegisterFlow) or, with Config.Relearn, lazily
+// from live traffic. Counters and link state survive (they model the
+// monitoring plane, not switch SRAM).
+func (th *Themis) Reboot() {
+	th.srcFlows = make(map[packet.QPID]*flowState)
+	th.dstFlows = make(map[packet.QPID]*flowState)
+	th.relearnIgnored = nil
+	th.stats.Reboots++
+	if th.cfg.Tracer != nil && th.cfg.Clock != nil {
+		th.cfg.Tracer.RecordFault(th.cfg.Clock.Now(), trace.FaultReset, th.swID, -1)
+	}
+}
+
+// relearn attempts to rebuild flow state for an unknown QP from packet header
+// fields (Config.Relearn). Declined registrations are cached so the per-packet
+// cost is one map lookup.
+func (th *Themis) relearn(qp packet.QPID, src, dst packet.NodeID, sport uint16) {
+	if _, skip := th.relearnIgnored[qp]; skip {
+		return
+	}
+	// A failed registration (e.g. direct spray on an asymmetric fabric) is
+	// treated like an unmanaged flow rather than retried per packet.
+	_ = th.RegisterFlow(qp, src, dst, sport)
+	_, isSrc := th.srcFlows[qp]
+	_, isDst := th.dstFlows[qp]
+	if isSrc || isDst {
+		th.stats.Relearns++
+		return
+	}
+	if th.relearnIgnored == nil {
+		th.relearnIgnored = make(map[packet.QPID]struct{})
+	}
+	th.relearnIgnored[qp] = struct{}{}
+}
+
+// PendingCompensations counts destination flows with an armed compensation
+// (BePSN recorded, Valid set): blocked NACKs whose verdict is still open.
+// After traffic drains it must be possible for these to be zero or resolve
+// via the sender's RTO — the chaos invariant checker asserts exactly that.
+func (th *Themis) PendingCompensations() int {
+	n := 0
+	for _, fs := range th.dstFlows {
+		if fs.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// RingStats sums ring-queue occupancy over destination flows: entries can
+// never exceed capacity (entries are evicted, not leaked).
+func (th *Themis) RingStats() (entries, capacity int, overflows uint64) {
+	for _, fs := range th.dstFlows {
+		entries += fs.ring.Len()
+		capacity += fs.ring.Cap()
+		overflows += fs.ring.Overflows()
+	}
+	return entries, capacity, overflows
+}
+
+// FlowCounts returns the number of flows registered in the Themis-S and
+// Themis-D roles.
+func (th *Themis) FlowCounts() (src, dst int) {
+	return len(th.srcFlows), len(th.dstFlows)
+}
 
 // RegisterFlow announces a QP to this ToR — the simulation analogue of the
 // paper's RNIC-handshake interception. It must be called on the source ToR
@@ -220,7 +305,13 @@ func (th *Themis) ringCapacity(dst packet.NodeID) int {
 func (th *Themis) SelectUplink(pkt *packet.Packet, cands []int) (int, bool) {
 	fs, ok := th.srcFlows[pkt.QP]
 	if !ok {
-		return 0, false
+		if th.cfg.Relearn && !th.disabled {
+			th.relearn(pkt.QP, pkt.Src, pkt.Dst, pkt.SPort)
+			fs, ok = th.srcFlows[pkt.QP]
+		}
+		if !ok {
+			return 0, false
+		}
 	}
 	if th.disabled {
 		th.stats.Bypassed++
@@ -249,6 +340,12 @@ func (th *Themis) SelectUplink(pkt *packet.Packet, cands []int) (int, bool) {
 // back to the sender.
 func (th *Themis) OnDeliverToHost(pkt *packet.Packet) []*packet.Packet {
 	fs, ok := th.dstFlows[pkt.QP]
+	if !ok && th.cfg.Relearn && !th.disabled {
+		// State loss: rebuild Themis-D state from the live data packet. The
+		// fresh ring starts empty, so classification restarts conservatively.
+		th.relearn(pkt.QP, pkt.Src, pkt.Dst, pkt.SPort)
+		fs, ok = th.dstFlows[pkt.QP]
+	}
 	if !ok || th.disabled {
 		return nil
 	}
@@ -297,7 +394,16 @@ func (th *Themis) FilterHostControl(pkt *packet.Packet) bool {
 		return true
 	}
 	fs, ok := th.dstFlows[pkt.QP]
+	if !ok && th.cfg.Relearn && !th.disabled {
+		// The NACK travels receiver -> sender, so the flow's data direction
+		// is (pkt.Dst -> pkt.Src); control packets reuse the forward sport.
+		th.relearn(pkt.QP, pkt.Dst, pkt.Src, pkt.SPort)
+		fs, ok = th.dstFlows[pkt.QP]
+	}
 	if !ok || th.disabled || th.cfg.DisableBlocking {
+		// Unknown QP mid-flow is the post-reboot degradation mode: forward
+		// the NACK unmodified — a spurious retransmission is always cheaper
+		// than a suppressed valid NACK.
 		return true
 	}
 	th.stats.NacksSeen++

@@ -389,6 +389,132 @@ func TestPathSubsetValidationUsesSubsetModulus(t *testing.T) {
 	}
 }
 
+func TestRebootClearsStateAndForwardsNacks(t *testing.T) {
+	src, dst, tp := setup(t, Config{})
+	cands := tp.CandidatePorts(0, 2)
+	// Populate Themis-D state, then block an invalid NACK to arm compensation.
+	for _, psn := range []uint32{0, 1, 3} {
+		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
+	}
+	if dst.FilterHostControl(nackPkt(1, 2, 0, 2)) {
+		t.Fatal("NACK should have been blocked")
+	}
+	if dst.PendingCompensations() != 1 {
+		t.Fatal("compensation not armed")
+	}
+	dst.Reboot()
+	if s, d := dst.FlowCounts(); s != 0 || d != 0 {
+		t.Fatalf("flow counts after reboot = (%d,%d)", s, d)
+	}
+	if dst.Stats().Reboots != 1 {
+		t.Fatal("reboot not counted")
+	}
+	if dst.PendingCompensations() != 0 {
+		t.Fatal("compensation survived reboot")
+	}
+	// Post-reboot degradation: the same (now valid-or-not) NACK is unknown-QP
+	// and must be forwarded unmodified, never blocked.
+	if !dst.FilterHostControl(nackPkt(1, 2, 0, 2)) {
+		t.Fatal("rebooted ToR blocked a NACK")
+	}
+	// A rebooted source ToR without Relearn defers to ECMP.
+	src.Reboot()
+	if _, ok := src.SelectUplink(dataPkt(1, 0, 2, 0), cands); ok {
+		t.Fatal("rebooted ToR without Relearn still steered")
+	}
+}
+
+func TestRelearnRebuildsSourceState(t *testing.T) {
+	src, _, tp := setup(t, Config{Relearn: true})
+	cands := tp.CandidatePorts(0, 2)
+	want, _ := src.SelectUplink(dataPkt(1, 0, 2, 7), cands)
+	src.Reboot()
+	got, ok := src.SelectUplink(dataPkt(1, 0, 2, 7), cands)
+	if !ok {
+		t.Fatal("relearn did not rebuild Themis-S state")
+	}
+	if got != want {
+		t.Fatalf("relearned spray differs: port %d want %d", got, want)
+	}
+	if src.Stats().Relearns != 1 {
+		t.Fatalf("relearns = %d", src.Stats().Relearns)
+	}
+}
+
+func TestRelearnRebuildsDestinationStateFromData(t *testing.T) {
+	_, dst, _ := setup(t, Config{Relearn: true})
+	for _, psn := range []uint32{0, 1, 3, 2} {
+		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
+	}
+	dst.Reboot()
+	// First data packet after the reboot re-registers the flow...
+	dst.OnDeliverToHost(dataPkt(1, 0, 2, 4))
+	if _, d := dst.FlowCounts(); d != 1 {
+		t.Fatal("relearn did not rebuild Themis-D state")
+	}
+	// ...with a fresh ring: a NACK whose trigger departed pre-reboot has no
+	// in-flight PSN after it in the rebuilt ring — a scan miss, forwarded
+	// (conservative restart).
+	if !dst.FilterHostControl(nackPkt(1, 2, 0, 5)) {
+		t.Fatal("post-reboot NACK blocked despite empty ring history")
+	}
+	if dst.Stats().ScanMisses == 0 {
+		t.Fatal("expected a scan miss on the rebuilt ring")
+	}
+}
+
+func TestRelearnFromNackReversesDirection(t *testing.T) {
+	_, dst, _ := setup(t, Config{Relearn: true})
+	dst.Reboot()
+	// A NACK travels receiver(2) -> sender(0); relearn must register the flow
+	// in its data direction (0 -> 2) so this ToR resumes the Themis-D role.
+	if !dst.FilterHostControl(nackPkt(1, 2, 0, 0)) {
+		t.Fatal("first post-reboot NACK must be forwarded")
+	}
+	if _, d := dst.FlowCounts(); d != 1 {
+		t.Fatal("NACK did not relearn the destination flow")
+	}
+	if dst.Stats().Relearns != 1 {
+		t.Fatalf("relearns = %d", dst.Stats().Relearns)
+	}
+}
+
+func TestRelearnDeclinedIsCachedNotRetried(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 0, Config{Relearn: true})
+	cands := tp.CandidatePorts(0, 2)
+	// Same-rack flow (hosts 0 and 1 both under ToR 0): relearn declines.
+	p := dataPkt(7, 0, 1, 0)
+	for i := 0; i < 3; i++ {
+		if _, ok := th.SelectUplink(p, cands); ok {
+			t.Fatal("same-rack flow steered")
+		}
+	}
+	if th.Stats().Relearns != 0 {
+		t.Fatal("declined relearn counted as success")
+	}
+	if _, cached := th.relearnIgnored[7]; !cached {
+		t.Fatal("declined QP not cached")
+	}
+}
+
+func TestRingStatsAndFlowCounts(t *testing.T) {
+	src, dst, _ := setup(t, Config{})
+	if s, d := src.FlowCounts(); s != 1 || d != 0 {
+		t.Fatalf("src flow counts = (%d,%d)", s, d)
+	}
+	for psn := uint32(0); psn < 10; psn++ {
+		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
+	}
+	entries, capacity, overflows := dst.RingStats()
+	if entries != 10 || capacity != 25 || overflows != 0 {
+		t.Fatalf("ring stats = (%d,%d,%d)", entries, capacity, overflows)
+	}
+	if entries > capacity {
+		t.Fatal("ring leaked entries beyond capacity")
+	}
+}
+
 func TestPathSubsetLargerThanNIgnored(t *testing.T) {
 	tp := leafSpine(t, 2, 2, 2) // N = 2
 	src := New(tp, 0, Config{PathSubset: 16})

@@ -79,7 +79,8 @@ type Config struct {
 	// packets. Defaults to ECMP.
 	NewCtrlSelector func() lb.Selector
 	// LossFunc, if set, is consulted at every switch egress enqueue of a
-	// data packet; returning true drops the packet (fault injection).
+	// data packet — and of control packets too when ControlLossless is false;
+	// returning true drops the packet (fault injection).
 	LossFunc func(pkt *packet.Packet, sw, port int) bool
 	// ControlLossless exempts ACK/NACK/CNP from buffer accounting and drops,
 	// modeling their strict priority in RoCE deployments. Default true via

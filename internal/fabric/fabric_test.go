@@ -283,6 +283,47 @@ func TestLossFuncInjection(t *testing.T) {
 	}
 }
 
+func TestLossFuncSparesControlWhenLossless(t *testing.T) {
+	tp := leafSpine(t, 2, 1, 1)
+	e := sim.NewEngine(1)
+	dropAll := func(p *packet.Packet, sw, port int) bool { return true }
+	n := NewNetwork(e, tp, Config{ControlLossless: true, LossFunc: dropAll})
+	var c collector
+	n.AttachHost(1, c.recv(e))
+	n.Inject(0, newData(0, 1, 0, 1000))
+	n.Inject(0, &packet.Packet{Kind: packet.Ack, Src: 0, Dst: 1, PSN: 1})
+	e.RunAll()
+	// The data packet dies, the ACK survives: lossless control is exempt
+	// from loss injection.
+	if len(c.pkts) != 1 || c.pkts[0].Kind != packet.Ack {
+		t.Fatalf("delivered %d packets", len(c.pkts))
+	}
+	if n.Counters().CtrlDrops != 0 {
+		t.Fatalf("ctrl drops = %d", n.Counters().CtrlDrops)
+	}
+}
+
+func TestLossFuncHitsControlWhenLossy(t *testing.T) {
+	tp := leafSpine(t, 2, 1, 1)
+	e := sim.NewEngine(1)
+	dropNacks := func(p *packet.Packet, sw, port int) bool { return p.Kind == packet.Nack }
+	n := NewNetwork(e, tp, Config{ControlLossless: false, LossFunc: dropNacks})
+	var c collector
+	n.AttachHost(1, c.recv(e))
+	n.Inject(0, &packet.Packet{Kind: packet.Nack, Src: 0, Dst: 1, PSN: 1})
+	n.Inject(0, &packet.Packet{Kind: packet.Ack, Src: 0, Dst: 1, PSN: 2})
+	e.RunAll()
+	if len(c.pkts) != 1 || c.pkts[0].Kind != packet.Ack {
+		t.Fatalf("delivered %d packets", len(c.pkts))
+	}
+	if n.Counters().CtrlDrops != 1 {
+		t.Fatalf("ctrl drops = %d, want 1", n.Counters().CtrlDrops)
+	}
+	if n.Counters().DataDrops != 0 {
+		t.Fatalf("data drops = %d", n.Counters().DataDrops)
+	}
+}
+
 func TestLinkFailureReroutes(t *testing.T) {
 	tp := leafSpine(t, 2, 2, 1) // two spines
 	e := sim.NewEngine(1)

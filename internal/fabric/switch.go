@@ -143,8 +143,17 @@ func (s *swInst) enqueue(pkt *packet.Packet, port, inPort int) {
 	isCtrl := pkt.Kind.IsControl()
 	lossless := isCtrl && s.net.cfg.ControlLossless
 
-	if !isCtrl && s.net.cfg.LossFunc != nil && s.net.cfg.LossFunc(pkt, s.sw.ID, port) {
-		s.drop(pkt)
+	// Loss injection: data packets always, control packets only when the
+	// control class is not lossless (DESIGN.md key decision 6 — the flag that
+	// subjects ACK/NACK/CNP to loss for robustness tests).
+	if s.net.cfg.LossFunc != nil && !lossless && s.net.cfg.LossFunc(pkt, s.sw.ID, port) {
+		if isCtrl {
+			s.net.counters.CtrlDrops++
+			s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.Drop, s.sw.ID, port, pkt)
+			s.free(pkt)
+		} else {
+			s.drop(pkt)
+		}
 		return
 	}
 	if !lossless {

@@ -67,8 +67,17 @@ type Config struct {
 	// to send at line rate unconditionally.
 	CC        cc.Config
 	DisableCC bool
-	// RTO is the retransmission timeout (default 1 ms).
+	// RTO is the base retransmission timeout (default 1 ms).
 	RTO sim.Duration
+	// RTOBackoff is the multiplicative backoff applied to the RTO on every
+	// consecutive timeout of a QP (default 1 = fixed RTO, the historical
+	// behaviour). Values > 1 make timeout storms under heavy loss converge:
+	// each barren timeout doubles (for 2.0) the next wait instead of
+	// re-firing at the base period while the fabric is still broken.
+	RTOBackoff float64
+	// RTOMax caps the backed-off timeout. Defaults to 100 × RTO when
+	// RTOBackoff > 1; ignored otherwise.
+	RTOMax sim.Duration
 	// CNPInterval is the minimum gap between CNPs per QP (default 50 us).
 	CNPInterval sim.Duration
 	// AckEvery coalesces ACKs: in-order arrivals are acknowledged every
@@ -93,6 +102,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RTO == 0 {
 		c.RTO = sim.Millisecond
+	}
+	if c.RTOBackoff == 0 {
+		c.RTOBackoff = 1
+	}
+	if c.RTOBackoff > 1 && c.RTOMax == 0 {
+		c.RTOMax = 100 * c.RTO
 	}
 	if c.CNPInterval == 0 {
 		c.CNPInterval = 50 * sim.Microsecond

@@ -624,3 +624,100 @@ func TestNackForAckedRangeHarmless(t *testing.T) {
 		t.Fatalf("stale NACK retransmitted %d packets", got)
 	}
 }
+
+// --- RTO backoff (fault tolerance hardening) ---
+
+func TestRTOBackoffDefaultsOff(t *testing.T) {
+	cfg := Config{LineRate: 100e9}.withDefaults()
+	if cfg.RTOBackoff != 1 {
+		t.Fatalf("default backoff = %f", cfg.RTOBackoff)
+	}
+	if cfg.RTOMax != 0 {
+		t.Fatalf("default RTOMax = %v without backoff", cfg.RTOMax)
+	}
+	boff := Config{LineRate: 100e9, RTO: sim.Millisecond, RTOBackoff: 2}.withDefaults()
+	if boff.RTOMax != 100*sim.Millisecond {
+		t.Fatalf("backoff RTOMax default = %v", boff.RTOMax)
+	}
+}
+
+func TestRTOExponentialBackoffAndCap(t *testing.T) {
+	e := sim.NewEngine(1)
+	var sink capture
+	n := New(e, 0, Config{
+		LineRate: 100e9, Transport: SelectiveRepeat, DisableCC: true,
+		RTO: 100 * sim.Microsecond, RTOBackoff: 2, RTOMax: 400 * sim.Microsecond,
+	}, sink.inject)
+	s := n.OpenSender(1, 1, 7)
+	s.SendMessage(1000, nil)
+	// No ACKs ever arrive: timeouts fire at t0+100us, then backed off by 2x
+	// each time (200, 400) until the 400us cap holds (800 -> 400).
+	var fired []sim.Time
+	prevTimeouts := uint64(0)
+	for i := 0; i < 5; i++ {
+		deadline := s.rto.Deadline()
+		e.Run(deadline)
+		if s.Stats().Timeouts != prevTimeouts+1 {
+			t.Fatalf("timeout %d did not fire (total %d)", i, s.Stats().Timeouts)
+		}
+		prevTimeouts = s.Stats().Timeouts
+		fired = append(fired, e.Now())
+	}
+	gaps := make([]sim.Duration, 0, 4)
+	for i := 1; i < len(fired); i++ {
+		gaps = append(gaps, fired[i].Sub(fired[i-1]))
+	}
+	want := []sim.Duration{200 * sim.Microsecond, 400 * sim.Microsecond, 400 * sim.Microsecond, 400 * sim.Microsecond}
+	for i, w := range want {
+		if gaps[i] != w {
+			t.Fatalf("gap %d = %v, want %v (gaps %v)", i, gaps[i], w, gaps)
+		}
+	}
+}
+
+func TestRTOBackoffResetsOnAckProgress(t *testing.T) {
+	e := sim.NewEngine(1)
+	var sink capture
+	n := New(e, 0, Config{
+		LineRate: 100e9, Transport: SelectiveRepeat, DisableCC: true,
+		RTO: 100 * sim.Microsecond, RTOBackoff: 2, RTOMax: sim.Second,
+	}, sink.inject)
+	s := n.OpenSender(1, 1, 7)
+	s.SendMessage(10000, nil)
+	runFor(e, 10*sim.Microsecond)
+	// Two barren timeouts raise the streak.
+	e.Run(s.rto.Deadline())
+	e.Run(s.rto.Deadline())
+	if s.rtoStreak != 2 {
+		t.Fatalf("streak = %d", s.rtoStreak)
+	}
+	// Partial ack progress resets the streak and re-arms at the base RTO.
+	s.onAck(&packet.Packet{Kind: packet.Ack, QP: 1, PSN: 2})
+	if s.rtoStreak != 0 {
+		t.Fatalf("streak after ack = %d", s.rtoStreak)
+	}
+	if got := s.rto.Deadline().Sub(e.Now()); got != 100*sim.Microsecond {
+		t.Fatalf("re-armed RTO = %v, want base 100us", got)
+	}
+}
+
+func TestRTOFixedWithoutBackoff(t *testing.T) {
+	e := sim.NewEngine(1)
+	var sink capture
+	n := New(e, 0, Config{
+		LineRate: 100e9, Transport: SelectiveRepeat, DisableCC: true,
+		RTO: 100 * sim.Microsecond,
+	}, sink.inject)
+	s := n.OpenSender(1, 1, 7)
+	s.SendMessage(1000, nil)
+	var fired []sim.Time
+	for i := 0; i < 3; i++ {
+		e.Run(s.rto.Deadline())
+		fired = append(fired, e.Now())
+	}
+	for i := 1; i < len(fired); i++ {
+		if got := fired[i].Sub(fired[i-1]); got != 100*sim.Microsecond {
+			t.Fatalf("gap %d = %v, want fixed 100us", i, got)
+		}
+	}
+}

@@ -53,6 +53,7 @@ type SenderQP struct {
 	nextSendAt sim.Time
 	pumpEv     *sim.Event
 	rto        *sim.Timer
+	rtoStreak  int // consecutive timeouts without ack progress (backoff exponent)
 
 	stats SenderStats
 
@@ -105,6 +106,23 @@ func (s *SenderQP) Rate() int64 {
 // backlog does not count: the retransmission timer must never fire just
 // because the pacer is slow.
 func (s *SenderQP) Outstanding() bool { return s.cumAck < s.maxSent }
+
+// curRTO returns the retransmission timeout with the current backoff applied:
+// base RTO × RTOBackoff^streak, capped at RTOMax.
+func (s *SenderQP) curRTO() sim.Duration {
+	rto := s.nic.cfg.RTO
+	if backoff := s.nic.cfg.RTOBackoff; backoff > 1 && s.rtoStreak > 0 {
+		scaled := float64(rto)
+		for i := 0; i < s.rtoStreak; i++ {
+			scaled *= backoff
+			if limit := s.nic.cfg.RTOMax; limit > 0 && scaled >= float64(limit) {
+				return limit
+			}
+		}
+		rto = sim.Duration(scaled)
+	}
+	return rto
+}
 
 // SendMessage posts a message of size bytes; done (optional) fires when the
 // last byte is acknowledged.
@@ -194,7 +212,7 @@ func (s *SenderQP) transmitNext() {
 		return
 	}
 	if !s.rto.Active() {
-		s.rto.Reset(s.nic.cfg.RTO)
+		s.rto.Reset(s.curRTO())
 	}
 	// Pacing gap: the burst's on-wire time at the current rate.
 	s.nextSendAt = now.Add(sim.TransmitTime(sentWire, s.Rate()))
@@ -289,7 +307,7 @@ func (s *SenderQP) retransmitNow(psn uint32) {
 	}
 	s.nic.inject(p)
 	if !s.rto.Active() {
-		s.rto.Reset(s.nic.cfg.RTO)
+		s.rto.Reset(s.curRTO())
 	}
 }
 
@@ -324,6 +342,7 @@ func (s *SenderQP) advanceCumAck(epsn uint32) {
 		}
 	}
 	s.cumAck = epsn
+	s.rtoStreak = 0 // ack progress: the path works again, back to the base RTO
 	now := s.nic.engine.Now()
 	for len(s.messages) > 0 && s.messages[0].endPSN <= s.cumAck {
 		m := s.messages[0]
@@ -337,7 +356,7 @@ func (s *SenderQP) advanceCumAck(epsn uint32) {
 		}
 	}
 	if s.Outstanding() {
-		s.rto.Reset(s.nic.cfg.RTO)
+		s.rto.Reset(s.curRTO())
 	} else {
 		// Idle QP: no retransmission timer. DCQCN timers keep running and
 		// self-quiesce once the rate recovers to line rate (and the alpha
@@ -354,6 +373,7 @@ func (s *SenderQP) onTimeout() {
 		return
 	}
 	s.stats.Timeouts++
+	s.rtoStreak++
 	switch s.nic.cfg.Transport {
 	case SelectiveRepeat, Ideal:
 		s.queueRetransmit(s.cumAck)
@@ -365,6 +385,6 @@ func (s *SenderQP) onTimeout() {
 	if s.dcqcn != nil && s.nic.cfg.Transport != Ideal {
 		s.dcqcn.OnTimeout()
 	}
-	s.rto.Reset(s.nic.cfg.RTO)
+	s.rto.Reset(s.curRTO())
 	s.pump()
 }

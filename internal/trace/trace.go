@@ -42,6 +42,16 @@ const (
 	Compensate
 	// Spray: Themis-S steered a data packet.
 	Spray
+	// FaultLinkDown: a fault injector (or operator) took a link down.
+	FaultLinkDown
+	// FaultLinkUp: a downed link was repaired.
+	FaultLinkUp
+	// FaultReset: a ToR middleware lost its state (simulated reboot).
+	FaultReset
+
+	// lastOp marks the end of the Op space for iteration; keep it after the
+	// final real op.
+	lastOp
 )
 
 // String returns the op mnemonic.
@@ -67,6 +77,12 @@ func (o Op) String() string {
 		return "compensate"
 	case Spray:
 		return "spray"
+	case FaultLinkDown:
+		return "fault-down"
+	case FaultLinkUp:
+		return "fault-up"
+	case FaultReset:
+		return "fault-reset"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -95,6 +111,10 @@ func (e Event) String() string {
 		} else {
 			loc = fmt.Sprintf("sw%d", e.Sw)
 		}
+	}
+	if e.Op >= FaultLinkDown && e.Op < lastOp {
+		// Fault events carry no packet fields.
+		return fmt.Sprintf("%12.3fus %-12s %-8s", e.T.Microseconds(), e.Op, loc)
 	}
 	return fmt.Sprintf("%12.3fus %-12s %-8s %s qp=%d psn=%d %d->%d",
 		e.T.Microseconds(), e.Op, loc, e.Kind, e.QP, e.PSN, e.Src, e.Dst)
@@ -188,6 +208,22 @@ func (t *Tracer) ByQP(qp packet.QPID) []Event {
 	return t.Filter(func(e Event) bool { return e.QP == qp })
 }
 
+// ByOp returns the retained events with a given verdict/op, oldest-first —
+// the post-hoc audit trail for one class of decisions (e.g. every blocked
+// NACK, or every injected fault).
+func (t *Tracer) ByOp(op Op) []Event {
+	return t.Filter(func(e Event) bool { return e.Op == op })
+}
+
+// RecordFault is a convenience wrapper for non-packet fault events (link
+// state changes, middleware state resets). Safe on nil.
+func (t *Tracer) RecordFault(now sim.Time, op Op, sw, port int) {
+	if t == nil {
+		return
+	}
+	t.Record(Event{T: now, Op: op, Sw: sw, Port: port})
+}
+
 // Dump writes the retained events, one per line.
 func (t *Tracer) Dump(w io.Writer) error {
 	for _, ev := range t.Events() {
@@ -206,7 +242,7 @@ func (t *Tracer) Summary() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace: %d events retained (%d total)\n", t.Len(), t.Total())
-	for op := HostTx; op <= Spray; op++ {
+	for op := HostTx; op < lastOp; op++ {
 		if c := counts[op]; c > 0 {
 			fmt.Fprintf(&b, "  %-14s %d\n", op, c)
 		}

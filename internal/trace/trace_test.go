@@ -97,6 +97,7 @@ func TestOpStrings(t *testing.T) {
 		HostTx: "host-tx", SwEnq: "sw-enq", SwTx: "sw-tx", Mark: "mark",
 		Drop: "drop", Deliver: "deliver", NackBlocked: "nack-blocked",
 		NackForwarded: "nack-fwd", Compensate: "compensate", Spray: "spray",
+		FaultLinkDown: "fault-down", FaultLinkUp: "fault-up", FaultReset: "fault-reset",
 	}
 	for op, want := range ops {
 		if op.String() != want {
@@ -105,6 +106,33 @@ func TestOpStrings(t *testing.T) {
 	}
 	if Op(99).String() != "Op(99)" {
 		t.Fatal("unknown op")
+	}
+}
+
+func TestByOpAndFaultEvents(t *testing.T) {
+	tr := New(16)
+	tr.Record(Event{Op: NackBlocked, QP: 1, PSN: 10})
+	tr.RecordFault(sim.Time(2*sim.Microsecond), FaultLinkDown, 3, 4)
+	tr.RecordFault(sim.Time(5*sim.Microsecond), FaultLinkUp, 3, 4)
+	tr.Record(Event{Op: NackBlocked, QP: 2, PSN: 20})
+	blocked := tr.ByOp(NackBlocked)
+	if len(blocked) != 2 || blocked[0].PSN != 10 || blocked[1].PSN != 20 {
+		t.Fatalf("blocked = %v", blocked)
+	}
+	downs := tr.ByOp(FaultLinkDown)
+	if len(downs) != 1 || downs[0].Sw != 3 || downs[0].Port != 4 {
+		t.Fatalf("downs = %v", downs)
+	}
+	// Fault events render without packet fields.
+	s := downs[0].String()
+	if !strings.Contains(s, "fault-down") || !strings.Contains(s, "sw3.4") || strings.Contains(s, "qp=") {
+		t.Fatalf("fault event render = %q", s)
+	}
+	// Nil safety.
+	var nilTr *Tracer
+	nilTr.RecordFault(0, FaultReset, 0, -1)
+	if nilTr.ByOp(FaultReset) != nil {
+		t.Fatal("nil tracer ByOp")
 	}
 }
 

@@ -93,10 +93,17 @@ type ClusterConfig struct {
 	MTU        int
 	BurstBytes int // default 16 KB pacer bursts
 	RTO        sim.Duration
+	RTOBackoff float64      // RTO multiplier per consecutive timeout (<=1: fixed RTO)
+	RTOMax     sim.Duration // backoff cap (default 100x RTO when backing off)
 	AckEvery   int
 	DisableCC  bool
 	TI, TD     sim.Duration // DCQCN knobs (Fig. 5 sweep)
 	NackFactor float64      // DCQCN NACK-cut factor (default cc's 0.75)
+
+	// LossyControl subjects ACK/NACK/CNP to buffer drops and injected loss
+	// (fabric.Config.ControlLossless = false) — the robustness configuration;
+	// production RoCE fabrics keep the control class lossless.
+	LossyControl bool
 
 	// Themis middleware (used when LB == Themis).
 	ThemisCfg core.Config
@@ -157,6 +164,11 @@ type Cluster struct {
 	nextQP    packet.QPID
 	nextSport uint16
 	conns     map[[2]packet.NodeID]*Conn
+
+	// failedLinks tracks outstanding FailLink calls so that overlapping
+	// failures repaired in any order only re-enable Themis once the fabric is
+	// whole again.
+	failedLinks map[[2]int]bool
 }
 
 // BuildCluster assembles a cluster from the configuration.
@@ -183,7 +195,7 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 	engine := sim.NewEngine(cfg.Seed)
 	fcfg := fabric.Config{
 		BufferBytes:     cfg.BufferBytes,
-		ControlLossless: true,
+		ControlLossless: !cfg.LossyControl,
 		NewDataSelector: cfg.selector(),
 		Tracer:          cfg.Tracer,
 	}
@@ -196,14 +208,15 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 	net := fabric.NewNetwork(engine, t, fcfg)
 
 	cl := &Cluster{
-		Config:    cfg,
-		Engine:    engine,
-		Topo:      t,
-		Net:       net,
-		Themis:    make(map[int]*core.Themis),
-		nextQP:    1,
-		nextSport: 1000,
-		conns:     make(map[[2]packet.NodeID]*Conn),
+		Config:      cfg,
+		Engine:      engine,
+		Topo:        t,
+		Net:         net,
+		Themis:      make(map[int]*core.Themis),
+		nextQP:      1,
+		nextSport:   1000,
+		conns:       make(map[[2]packet.NodeID]*Conn),
+		failedLinks: make(map[[2]int]bool),
 	}
 
 	ncfg := rnic.Config{
@@ -212,6 +225,8 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		LineRate:   cfg.Bandwidth,
 		DisableCC:  cfg.DisableCC,
 		RTO:        cfg.RTO,
+		RTOBackoff: cfg.RTOBackoff,
+		RTOMax:     cfg.RTOMax,
 		AckEvery:   cfg.AckEvery,
 		BurstBytes: cfg.BurstBytes,
 	}
@@ -304,20 +319,40 @@ func (cl *Cluster) Run(horizon sim.Duration) sim.Time {
 // disables itself, reverting the whole fabric to ECMP. Cluster-wide disable
 // is required for correctness, not just at the adjacent ToR: PSN-based
 // spraying is deterministic, so any source ToR left spraying would keep
-// steering the same PSN residues into the dead path forever.
+// steering the same PSN residues into the dead path forever. Failures may
+// overlap; Themis stays disabled until every one is repaired.
 func (cl *Cluster) FailLink(sw, port int) {
+	cl.failedLinks[[2]int{sw, port}] = true
 	cl.Net.SetLinkState(sw, port, false)
 	for _, th := range cl.Themis {
 		th.SetDisabled(true)
 	}
 }
 
-// RepairLink restores the link and re-enables the middleware. It assumes
-// this was the only outstanding failure.
+// RepairLink restores the link and, once no failure remains outstanding,
+// re-enables the middleware. Repairs may arrive in any order relative to the
+// failures.
 func (cl *Cluster) RepairLink(sw, port int) {
+	delete(cl.failedLinks, [2]int{sw, port})
 	cl.Net.SetLinkState(sw, port, true)
+	if len(cl.failedLinks) > 0 {
+		return
+	}
 	for _, th := range cl.Themis {
 		th.SetDisabled(false)
+	}
+}
+
+// FailedLinks returns the number of outstanding link failures.
+func (cl *Cluster) FailedLinks() int { return len(cl.failedLinks) }
+
+// RebootToR power-cycles the Themis instance on ToR sw (no-op on clusters
+// without the middleware): all flow-table and ring-queue state is lost
+// mid-flow. With ThemisCfg.Relearn the instance rebuilds state from live
+// traffic; otherwise its flows stay unmanaged until re-registered.
+func (cl *Cluster) RebootToR(sw int) {
+	if th, ok := cl.Themis[sw]; ok {
+		th.Reboot()
 	}
 }
 
@@ -353,6 +388,8 @@ func (cl *Cluster) ThemisStats() core.Stats {
 		agg.ScanMisses += st.ScanMisses
 		agg.RingOverflows += st.RingOverflows
 		agg.Bypassed += st.Bypassed
+		agg.Reboots += st.Reboots
+		agg.Relearns += st.Relearns
 	}
 	return agg
 }

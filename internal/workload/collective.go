@@ -34,7 +34,13 @@ type CollectiveConfig struct {
 	BufferBytes int          // switch shared buffer (default 64 MB)
 	Horizon     sim.Duration // simulation cap (default 30 s)
 	DisablePFC  bool         // run a lossy fabric (PFC is on by default)
-	ThemisCfg   core.Config
+	// Transport recovery knobs (see rnic.Config).
+	RTO        sim.Duration
+	RTOBackoff float64
+	RTOMax     sim.Duration
+	// LossyControl drops ACK/NACK/CNP like data (robustness experiments).
+	LossyControl bool
+	ThemisCfg    core.Config
 }
 
 func (c CollectiveConfig) withDefaults() CollectiveConfig {
@@ -114,6 +120,10 @@ func RunCollective(cfg CollectiveConfig) (*CollectiveResult, error) {
 		BurstBytes:   cfg.BurstBytes,
 		BufferBytes:  cfg.BufferBytes,
 		DisablePFC:   cfg.DisablePFC,
+		RTO:          cfg.RTO,
+		RTOBackoff:   cfg.RTOBackoff,
+		RTOMax:       cfg.RTOMax,
+		LossyControl: cfg.LossyControl,
 		ThemisCfg:    cfg.ThemisCfg,
 	})
 	if err != nil {

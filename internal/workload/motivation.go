@@ -31,6 +31,10 @@ type MotivationConfig struct {
 	TI, TD sim.Duration
 	// NackFactor overrides the DCQCN NACK-cut factor (0 = cc default).
 	NackFactor float64
+	// Transport recovery knobs (see rnic.Config).
+	RTO        sim.Duration
+	RTOBackoff float64
+	RTOMax     sim.Duration
 }
 
 func (c MotivationConfig) withDefaults() MotivationConfig {
@@ -110,6 +114,9 @@ func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
 		TI:           cfg.TI,
 		TD:           cfg.TD,
 		NackFactor:   cfg.NackFactor,
+		RTO:          cfg.RTO,
+		RTOBackoff:   cfg.RTOBackoff,
+		RTOMax:       cfg.RTOMax,
 	})
 	if err != nil {
 		return nil, err

@@ -322,6 +322,90 @@ func TestFailAndRepairLink(t *testing.T) {
 	}
 }
 
+func TestOverlappingFailuresRepairedOutOfOrder(t *testing.T) {
+	cl, err := BuildCluster(ClusterConfig{
+		Seed: 1, Leaves: 2, Spines: 4, HostsPerLeaf: 2, Bandwidth: 100e9, LB: Themis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two overlapping failures on different leaves.
+	cl.FailLink(0, 2)
+	cl.FailLink(1, 3)
+	if cl.FailedLinks() != 2 {
+		t.Fatalf("outstanding failures = %d", cl.FailedLinks())
+	}
+	// Repair them in the opposite order of a LIFO assumption: the first
+	// failure first. One link is still down, so Themis must stay disabled.
+	cl.RepairLink(0, 2)
+	if cl.FailedLinks() != 1 {
+		t.Fatalf("outstanding failures = %d", cl.FailedLinks())
+	}
+	for _, th := range cl.Themis {
+		if !th.Disabled() {
+			t.Fatal("Themis re-enabled while a failure is outstanding")
+		}
+	}
+	done := false
+	cl.Conn(0, 2).Send(500_000, func() { done = true })
+	cl.Run(sim.Second)
+	if !done {
+		t.Fatal("transfer incomplete under the remaining failure")
+	}
+	cl.RepairLink(1, 3)
+	if cl.FailedLinks() != 0 {
+		t.Fatalf("outstanding failures = %d", cl.FailedLinks())
+	}
+	for _, th := range cl.Themis {
+		if th.Disabled() {
+			t.Fatal("Themis not re-enabled after the last repair")
+		}
+	}
+}
+
+func TestLossyControlPlaneStillCompletes(t *testing.T) {
+	cl, err := BuildCluster(ClusterConfig{
+		Seed: 7, Leaves: 2, Spines: 4, HostsPerLeaf: 2, Bandwidth: 100e9,
+		LB: Themis, LossyControl: true,
+		RTO: 200 * sim.Microsecond, RTOBackoff: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop 1% of control packets (deterministic stride, engine-independent).
+	ctrlSeen := 0
+	cl.Net.SetLossFunc(func(pkt *packet.Packet, sw, port int) bool {
+		if !pkt.Kind.IsControl() {
+			return false
+		}
+		ctrlSeen++
+		return ctrlSeen%100 == 0
+	})
+	remaining := 0
+	for _, f := range [][2]packet.NodeID{{0, 2}, {1, 3}, {2, 0}, {3, 1}} {
+		remaining++
+		cl.Conn(f[0], f[1]).Send(1<<20, func() { remaining-- })
+	}
+	cl.Run(10 * sim.Second)
+	cl.Engine.RunAll()
+	if remaining != 0 {
+		t.Fatalf("%d transfers incomplete under control-plane loss", remaining)
+	}
+	if cl.Net.Counters().CtrlDrops == 0 {
+		t.Fatal("no control packets dropped — regime mis-tuned")
+	}
+	// Themis-D classification must stay consistent under lost NACKs: every
+	// compensation corresponds to a previously blocked NACK.
+	st := cl.ThemisStats()
+	if st.Compensations > st.NacksBlocked {
+		t.Fatalf("compensations %d > blocked NACKs %d", st.Compensations, st.NacksBlocked)
+	}
+	if st.NacksSeen != st.NacksForwarded+st.NacksBlocked {
+		t.Fatalf("NACK classification leak: seen %d, fwd %d, blocked %d",
+			st.NacksSeen, st.NacksForwarded, st.NacksBlocked)
+	}
+}
+
 func TestClusterTracing(t *testing.T) {
 	tr := trace.New(4096)
 	cl, err := BuildCluster(ClusterConfig{

@@ -22,6 +22,7 @@
 package themis
 
 import (
+	"themis/internal/chaos"
 	"themis/internal/collective"
 	"themis/internal/core"
 	"themis/internal/memmodel"
@@ -69,6 +70,14 @@ type (
 	NodeID = packet.NodeID
 	// Conn is a reliable connection (QP pair) between two hosts.
 	Conn = workload.Conn
+	// ChaosScenario is a seeded fault schedule for the chaos harness.
+	ChaosScenario = chaos.Scenario
+	// ChaosFault is one scheduled fault of a ChaosScenario.
+	ChaosFault = chaos.Fault
+	// ChaosOptions parameterizes the chaos scenario harness.
+	ChaosOptions = chaos.Options
+	// ChaosResult is the audited outcome of one chaos scenario.
+	ChaosResult = chaos.Result
 )
 
 // Load-balancing arms.
@@ -122,6 +131,18 @@ func MemoryModel() MemoryParams { return memmodel.PaperDefaults() }
 
 // PaperDCQCNSettings returns the five Fig. 5 DCQCN (TI, TD) configurations.
 func PaperDCQCNSettings() []DCQCNSetting { return workload.PaperDCQCNSettings() }
+
+// RunChaosScenario executes one deterministic fault-injection scenario on
+// the hardened cluster and audits the graceful-degradation invariants.
+func RunChaosScenario(sc ChaosScenario, opt ChaosOptions) (*ChaosResult, error) {
+	return chaos.RunScenario(sc, opt)
+}
+
+// ChaosSoak generates and runs count seeded scenarios starting at seed
+// first; see internal/chaos.Soak.
+func ChaosSoak(first int64, count int, opt ChaosOptions) ([]*ChaosResult, error) {
+	return chaos.Soak(first, count, opt)
+}
 
 // Fig5Arms returns the three systems Fig. 5 compares, in paper order.
 func Fig5Arms() []LBMode { return workload.Fig5Arms() }
