@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet lint race verify bench
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,19 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The chaos and middleware packages are the ones with event-driven callback
-# webs; run them under the race detector even though the simulator is
-# single-threaded — it catches accidental goroutine leaks in new code.
+# themis-lint enforces simulation determinism (no wall clock, no global rand,
+# no map-order leaks into the event queue) and protocol invariants (no raw PSN
+# comparisons, no bare picosecond literals). Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/themis-lint ./...
+
+# The simulator is single-threaded, but run the whole tree under the race
+# detector anyway — it catches accidental goroutine leaks in new code.
 race:
-	$(GO) test -race ./internal/chaos/... ./internal/core/...
+	$(GO) test -race ./...
 
 # verify is the full pre-merge recipe.
-verify: build vet test race
+verify: build vet lint test race
 
 bench:
 	$(GO) test -bench=. -benchmem .

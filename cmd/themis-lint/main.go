@@ -1,0 +1,49 @@
+// Command themis-lint runs the repo's static-analysis suite (internal/lint)
+// over the given package patterns and prints findings in file:line:col form.
+// It exits 1 when any diagnostic is reported, so it gates `make verify`.
+//
+// Usage:
+//
+//	themis-lint [-C moddir] [patterns...]
+//
+// Patterns default to ./internal/... ./cmd/... and follow go-tool spelling
+// (a directory, or dir/... for the subtree).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"themis/internal/lint"
+)
+
+func main() {
+	modRoot := flag.String("C", ".", "module root directory (containing go.mod)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: themis-lint [-C moddir] [patterns...]\n")
+		flag.PrintDefaults()
+		fmt.Fprintln(flag.CommandLine.Output(), "\nanalyzers:")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"internal/...", "cmd/..."}
+	}
+	diags, err := lint.Run(*modRoot, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "themis-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "themis-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 
 	"themis/internal/workload"
 )
@@ -33,7 +34,15 @@ func CheckInvariants(cl *workload.Cluster, remaining int) []string {
 	if n := cl.FailedLinks(); n != 0 {
 		v = append(v, fmt.Sprintf("%d link failures left outstanding", n))
 	}
-	for sw, th := range cl.Themis {
+	// Sorted ToR order keeps the violation list (and any log diff built from
+	// it) identical across runs.
+	tors := make([]int, 0, len(cl.Themis))
+	for sw := range cl.Themis { //lint:ordered
+		tors = append(tors, sw)
+	}
+	sort.Ints(tors)
+	for _, sw := range tors {
+		th := cl.Themis[sw]
 		if th.Disabled() && cl.FailedLinks() == 0 {
 			v = append(v, fmt.Sprintf("themis on sw %d still disabled after all repairs", sw))
 		}

@@ -105,7 +105,7 @@ type flowState struct {
 	ring *psnRing
 
 	// NACK-compensation fields (§3.4).
-	bepsn uint32
+	bepsn packet.PSN
 	valid bool
 }
 
@@ -322,7 +322,7 @@ func (th *Themis) SelectUplink(pkt *packet.Packet, cands []int) (int, bool) {
 	if fs.pathMap != nil {
 		// Multi-tier: rewrite the entropy field; downstream ECMP realizes
 		// the deterministic path for PSN mod N.
-		j := int(pkt.PSN % uint32(fs.nPaths))
+		j := pkt.PSN.Mod(fs.nPaths)
 		pkt.SPort ^= fs.pathMap[j]
 		return 0, false
 	}
@@ -330,7 +330,7 @@ func (th *Themis) SelectUplink(pkt *packet.Packet, cands []int) (int, bool) {
 	// all uplinks; the flow then cycles through nPaths consecutive ones
 	// (nPaths < len(cands) only under the PathSubset extension).
 	base := lb.Index(fs.flowHash, len(cands))
-	idx := (base + int(pkt.PSN%uint32(fs.nPaths))) % len(cands)
+	idx := (base + pkt.PSN.Mod(fs.nPaths)) % len(cands)
 	return cands[idx], true
 }
 
@@ -356,7 +356,7 @@ func (th *Themis) OnDeliverToHost(pkt *packet.Packet) []*packet.Packet {
 			// The blocked NACK's packet arrived after all: no loss.
 			fs.valid = false
 			th.stats.CompensationCancelled++
-		case pkt.PSN > fs.bepsn && pkt.PSN%uint32(fs.nPaths) == fs.bepsn%uint32(fs.nPaths):
+		case pkt.PSN.After(fs.bepsn) && pkt.PSN.Mod(fs.nPaths) == fs.bepsn.Mod(fs.nPaths):
 			// A later packet on the same path arrived: the BePSN packet is
 			// confirmed lost. Generate the NACK the RNIC cannot (§3.4).
 			fs.valid = false
@@ -373,7 +373,7 @@ func (th *Themis) OnDeliverToHost(pkt *packet.Packet) []*packet.Packet {
 			})
 		}
 	}
-	fs.ring.Push(uint8(pkt.PSN))
+	fs.ring.Push(pkt.PSN.Trunc())
 	th.stats.RingOverflows = th.ringOverflowTotal()
 	return out
 }
@@ -407,7 +407,7 @@ func (th *Themis) FilterHostControl(pkt *packet.Packet) bool {
 		return true
 	}
 	th.stats.NacksSeen++
-	tpsn, found := fs.ring.ScanFor(uint8(pkt.PSN))
+	tpsn, found := fs.ring.ScanFor(pkt.PSN.Trunc())
 	if !found {
 		// No in-flight PSN after the ePSN: the trigger left the window.
 		// Forward conservatively — a spurious retransmission is cheaper
@@ -418,7 +418,7 @@ func (th *Themis) FilterHostControl(pkt *packet.Packet) bool {
 	}
 	// Eq. 3 via the truncated delta: paths match iff (tPSN-ePSN) ≡ 0 mod N.
 	// The delta is exact because the in-flight window is < 128 PSNs.
-	delta := seqDelta(tpsn, uint8(pkt.PSN))
+	delta := seqDelta(tpsn, pkt.PSN.Trunc())
 	if int(delta)%fs.nPaths == 0 {
 		th.stats.NacksForwarded++
 		th.trace(trace.NackForwarded, pkt)
@@ -430,7 +430,7 @@ func (th *Themis) FilterHostControl(pkt *packet.Packet) bool {
 	// and no compensation may ever fire.
 	th.stats.NacksBlocked++
 	th.trace(trace.NackBlocked, pkt)
-	if fs.ring.Contains(uint8(pkt.PSN)) {
+	if fs.ring.Contains(pkt.PSN.Trunc()) {
 		th.stats.CompensationCancelled++
 		fs.valid = false
 		return false

@@ -22,11 +22,11 @@ func leafSpine(t *testing.T, leaves, spines, hosts int) *topo.Topology {
 	return tp
 }
 
-func dataPkt(qp packet.QPID, src, dst packet.NodeID, psn uint32) *packet.Packet {
+func dataPkt(qp packet.QPID, src, dst packet.NodeID, psn packet.PSN) *packet.Packet {
 	return &packet.Packet{Kind: packet.Data, Src: src, Dst: dst, QP: qp, SPort: 1000, DPort: 4791, PSN: psn, Payload: 1000}
 }
 
-func nackPkt(qp packet.QPID, src, dst packet.NodeID, epsn uint32) *packet.Packet {
+func nackPkt(qp packet.QPID, src, dst packet.NodeID, epsn packet.PSN) *packet.Packet {
 	return &packet.Packet{Kind: packet.Nack, Src: src, Dst: dst, QP: qp, SPort: 1000, DPort: 4791, PSN: epsn}
 }
 
@@ -82,7 +82,7 @@ func TestDirectSprayEq1(t *testing.T) {
 	cands := tp.CandidatePorts(0, 2) // two uplinks
 	key := packet.FlowKey{Src: 0, Dst: 2, SPort: 1000, DPort: 4791}
 	hash := lb.Hash(key) ^ lb.SwitchSeed(0)
-	for psn := uint32(0); psn < 16; psn++ {
+	for psn := packet.PSN(0); psn < 16; psn++ {
 		p := dataPkt(1, 0, 2, psn)
 		port, ok := src.SelectUplink(p, cands)
 		if !ok {
@@ -134,7 +134,7 @@ func TestDirectSprayRequiresMatchingUplinks(t *testing.T) {
 func TestNackValidationFig4b(t *testing.T) {
 	_, dst, _ := setup(t, Config{}) // N = 2
 	// Packets leave the ToR towards the NIC in order 0,1,3,2.
-	for _, psn := range []uint32{0, 1, 3, 2} {
+	for _, psn := range []packet.PSN{0, 1, 3, 2} {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	// NACK(2): tPSN=3, 3 mod 2 != 2 mod 2 -> invalid -> blocked.
@@ -189,7 +189,7 @@ func TestNackForUnregisteredQPPasses(t *testing.T) {
 func TestCompensationGeneratedFig4c(t *testing.T) {
 	_, dst, _ := setup(t, Config{}) // N = 2
 	// 0,1,3 leave towards the NIC; 2 is genuinely lost.
-	for _, psn := range []uint32{0, 1, 3} {
+	for _, psn := range []packet.PSN{0, 1, 3} {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	// NACK(2): tPSN=3 -> invalid -> blocked; BePSN=2, Valid=true.
@@ -218,7 +218,7 @@ func TestCompensationGeneratedFig4c(t *testing.T) {
 
 func TestCompensationCancelledWhenBePSNArrives(t *testing.T) {
 	_, dst, _ := setup(t, Config{})
-	for _, psn := range []uint32{0, 1, 3} {
+	for _, psn := range []packet.PSN{0, 1, 3} {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	if dst.FilterHostControl(nackPkt(1, 2, 0, 2)) {
@@ -239,7 +239,7 @@ func TestCompensationCancelledWhenBePSNArrives(t *testing.T) {
 
 func TestDisableBlockingAblation(t *testing.T) {
 	_, dst, _ := setup(t, Config{DisableBlocking: true})
-	for _, psn := range []uint32{0, 1, 3, 2} {
+	for _, psn := range []packet.PSN{0, 1, 3, 2} {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	if !dst.FilterHostControl(nackPkt(1, 2, 0, 2)) {
@@ -249,7 +249,7 @@ func TestDisableBlockingAblation(t *testing.T) {
 
 func TestDisableCompensationAblation(t *testing.T) {
 	_, dst, _ := setup(t, Config{DisableCompensation: true})
-	for _, psn := range []uint32{0, 1, 3} {
+	for _, psn := range []packet.PSN{0, 1, 3} {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	if dst.FilterHostControl(nackPkt(1, 2, 0, 2)) {
@@ -284,7 +284,7 @@ func TestFailureFallbackDisablesThemis(t *testing.T) {
 
 func TestSetDisabledBypassesFiltering(t *testing.T) {
 	_, dst, _ := setup(t, Config{})
-	for _, psn := range []uint32{0, 1, 3, 2} {
+	for _, psn := range []packet.PSN{0, 1, 3, 2} {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	dst.SetDisabled(true)
@@ -313,7 +313,7 @@ func TestValidationCongruence(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Deliver psns 0..spines*3 skipping one per stride.
-		for psn := uint32(1); psn < uint32(spines*3); psn++ {
+		for psn := packet.PSN(1); psn < packet.PSN(spines*3); psn++ {
 			dst.OnDeliverToHost(dataPkt(1, 0, hostDst, psn))
 		}
 		// NACK for ePSN 0: tPSN = 1; valid iff 1 mod N == 0 (never for N>1).
@@ -338,7 +338,7 @@ func TestPathSubsetSpraysOnlyKUplinks(t *testing.T) {
 	}
 	cands := tp.CandidatePorts(0, 2)
 	used := map[int]bool{}
-	for psn := uint32(0); psn < 64; psn++ {
+	for psn := packet.PSN(0); psn < 64; psn++ {
 		port, ok := src.SelectUplink(dataPkt(1, 0, 2, psn), cands)
 		if !ok {
 			t.Fatal("not steered")
@@ -381,7 +381,7 @@ func TestPathSubsetValidationUsesSubsetModulus(t *testing.T) {
 	// -> invalid -> blocked (with k=8 this would also be invalid; use a
 	// same-parity case to discriminate: NACK(1) triggered by 3: delta 2,
 	// 2 mod 2 == 0 -> valid under k=2 even though 2 mod 8 != 0).
-	for _, psn := range []uint32{0, 3} {
+	for _, psn := range []packet.PSN{0, 3} {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	if !dst.FilterHostControl(nackPkt(1, 2, 0, 1)) {
@@ -393,7 +393,7 @@ func TestRebootClearsStateAndForwardsNacks(t *testing.T) {
 	src, dst, tp := setup(t, Config{})
 	cands := tp.CandidatePorts(0, 2)
 	// Populate Themis-D state, then block an invalid NACK to arm compensation.
-	for _, psn := range []uint32{0, 1, 3} {
+	for _, psn := range []packet.PSN{0, 1, 3} {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	if dst.FilterHostControl(nackPkt(1, 2, 0, 2)) {
@@ -443,7 +443,7 @@ func TestRelearnRebuildsSourceState(t *testing.T) {
 
 func TestRelearnRebuildsDestinationStateFromData(t *testing.T) {
 	_, dst, _ := setup(t, Config{Relearn: true})
-	for _, psn := range []uint32{0, 1, 3, 2} {
+	for _, psn := range []packet.PSN{0, 1, 3, 2} {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	dst.Reboot()
@@ -503,7 +503,7 @@ func TestRingStatsAndFlowCounts(t *testing.T) {
 	if s, d := src.FlowCounts(); s != 1 || d != 0 {
 		t.Fatalf("src flow counts = (%d,%d)", s, d)
 	}
-	for psn := uint32(0); psn < 10; psn++ {
+	for psn := packet.PSN(0); psn < 10; psn++ {
 		dst.OnDeliverToHost(dataPkt(1, 0, 2, psn))
 	}
 	entries, capacity, overflows := dst.RingStats()

@@ -41,7 +41,7 @@ func (c *collector) recv(e *sim.Engine) func(*packet.Packet) {
 	}
 }
 
-func newData(src, dst packet.NodeID, psn uint32, payload int) *packet.Packet {
+func newData(src, dst packet.NodeID, psn packet.PSN, payload int) *packet.Packet {
 	return &packet.Packet{Kind: packet.Data, Src: src, Dst: dst, QP: 1, SPort: 1000, DPort: 4791, PSN: psn, Payload: payload}
 }
 
@@ -99,14 +99,14 @@ func TestFIFOOrderOnOnePath(t *testing.T) {
 	var c collector
 	n.AttachHost(1, c.recv(e))
 	for i := 0; i < 50; i++ {
-		n.Inject(0, newData(0, 1, uint32(i), 1000))
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	if len(c.pkts) != 50 {
 		t.Fatalf("delivered %d", len(c.pkts))
 	}
 	for i, p := range c.pkts {
-		if p.PSN != uint32(i) {
+		if p.PSN != packet.PSN(i) {
 			t.Fatalf("reordered on single path: pos %d psn %d", i, p.PSN)
 		}
 	}
@@ -118,7 +118,7 @@ func TestECMPConsistentPath(t *testing.T) {
 	n := NewNetwork(e, tp, Config{})
 	n.AttachHost(1, func(*packet.Packet) {})
 	for i := 0; i < 40; i++ {
-		n.Inject(0, newData(0, 1, uint32(i), 1000))
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	// Exactly one leaf0 uplink (ports 1..4) carried all 40 packets.
@@ -145,7 +145,7 @@ func TestRandomSprayUsesAllPaths(t *testing.T) {
 	})
 	n.AttachHost(1, func(*packet.Packet) {})
 	for i := 0; i < 200; i++ {
-		n.Inject(0, newData(0, 1, uint32(i), 1000))
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	for port := 1; port <= 4; port++ {
@@ -165,8 +165,8 @@ func TestBufferOverflowDrops(t *testing.T) {
 	var c collector
 	n.AttachHost(2, c.recv(e))
 	for i := 0; i < 20; i++ {
-		n.Inject(0, newData(0, 2, uint32(i), 1000))
-		n.Inject(1, newData(1, 2, uint32(i), 1000))
+		n.Inject(0, newData(0, 2, packet.PSN(i), 1000))
+		n.Inject(1, newData(1, 2, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	ctr := n.Counters()
@@ -187,8 +187,8 @@ func TestECNMarking(t *testing.T) {
 	var c collector
 	n.AttachHost(2, c.recv(e))
 	for i := 0; i < 40; i++ {
-		n.Inject(0, newData(0, 2, uint32(i), 1000))
-		n.Inject(1, newData(1, 2, uint32(i), 1000))
+		n.Inject(0, newData(0, 2, packet.PSN(i), 1000))
+		n.Inject(1, newData(1, 2, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	if n.Counters().EcnMarks == 0 {
@@ -218,7 +218,7 @@ func TestECNNeverMarksControl(t *testing.T) {
 	var c collector
 	n.AttachHost(1, c.recv(e))
 	for i := 0; i < 10; i++ {
-		ack := &packet.Packet{Kind: packet.Ack, Src: 0, Dst: 1, SPort: 7, DPort: 4791, PSN: uint32(i)}
+		ack := &packet.Packet{Kind: packet.Ack, Src: 0, Dst: 1, SPort: 7, DPort: 4791, PSN: packet.PSN(i)}
 		n.Inject(0, ack)
 	}
 	e.RunAll()
@@ -236,7 +236,7 @@ func TestControlLossless(t *testing.T) {
 	var c collector
 	n.AttachHost(1, c.recv(e))
 	for i := 0; i < 10; i++ {
-		n.Inject(0, &packet.Packet{Kind: packet.Nack, Src: 0, Dst: 1, PSN: uint32(i)})
+		n.Inject(0, &packet.Packet{Kind: packet.Nack, Src: 0, Dst: 1, PSN: packet.PSN(i)})
 	}
 	e.RunAll()
 	if len(c.pkts) != 10 {
@@ -254,7 +254,7 @@ func TestControlLossyWhenConfigured(t *testing.T) {
 	var c collector
 	n.AttachHost(1, c.recv(e))
 	for i := 0; i < 10; i++ {
-		n.Inject(0, &packet.Packet{Kind: packet.Nack, Src: 0, Dst: 1, PSN: uint32(i)})
+		n.Inject(0, &packet.Packet{Kind: packet.Nack, Src: 0, Dst: 1, PSN: packet.PSN(i)})
 	}
 	e.RunAll()
 	if n.Counters().CtrlDrops == 0 {
@@ -270,7 +270,7 @@ func TestLossFuncInjection(t *testing.T) {
 	var c collector
 	n.AttachHost(1, c.recv(e))
 	for i := 0; i < 10; i++ {
-		n.Inject(0, newData(0, 1, uint32(i), 1000))
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	if len(c.pkts) != 9 {
@@ -335,7 +335,7 @@ func TestLinkFailureReroutes(t *testing.T) {
 	// Kill leaf0's uplink to spine0 (port 1).
 	n.SetLinkState(0, 1, false)
 	for i := 0; i < 50; i++ {
-		n.Inject(0, newData(0, 1, uint32(i), 1000))
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	if len(c.pkts) != 50 {
@@ -380,9 +380,9 @@ func TestLinkRecovery(t *testing.T) {
 
 // recordingPipeline records hook invocations and optionally blocks control.
 type recordingPipeline struct {
-	uplinks   []uint32 // PSNs seen by SelectUplink
-	delivered []uint32 // PSNs seen by OnDeliverToHost
-	ctrl      []uint32 // PSNs of control packets seen
+	uplinks   []packet.PSN // PSNs seen by SelectUplink
+	delivered []packet.PSN // PSNs seen by OnDeliverToHost
+	ctrl      []packet.PSN // PSNs of control packets seen
 	blockAll  bool
 	forcePort int // if >= 0, SelectUplink forces this port
 	extras    []*packet.Packet
@@ -416,7 +416,7 @@ func TestPipelineSelectUplinkForced(t *testing.T) {
 	pl := &recordingPipeline{forcePort: 3} // uplink to spine2
 	n.SetTorPipeline(0, pl)
 	for i := 0; i < 10; i++ {
-		n.Inject(0, newData(0, 1, uint32(i), 1000))
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	if len(pl.uplinks) != 10 {
@@ -520,7 +520,7 @@ func TestBufferReleasedAfterTransit(t *testing.T) {
 	n := NewNetwork(e, tp, Config{BufferBytes: 1 << 20})
 	n.AttachHost(1, func(*packet.Packet) {})
 	for i := 0; i < 100; i++ {
-		n.Inject(0, newData(0, 1, uint32(i), 1000))
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	for sw := 0; sw < tp.NumSwitches(); sw++ {
@@ -536,7 +536,7 @@ func TestQueueDepthAccounting(t *testing.T) {
 	n := NewNetwork(e, tp, Config{})
 	n.AttachHost(1, func(*packet.Packet) {})
 	for i := 0; i < 10; i++ {
-		n.Inject(0, newData(0, 1, uint32(i), 1000))
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	// After the run everything has drained.
@@ -564,7 +564,7 @@ func TestRemoteFailureReconverges(t *testing.T) {
 	// Leaf1 is switch 1; its uplink to spine0 (switch 2) is port 1.
 	n.SetLinkState(1, 1, false)
 	for i := 0; i < 20; i++ {
-		n.Inject(0, newData(0, 1, uint32(i), 1000))
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
 	}
 	e.RunAll()
 	if len(c.pkts) != 20 {
@@ -617,8 +617,8 @@ func TestConservationProperty(t *testing.T) {
 		n.AttachHost(3, func(*packet.Packet) { delivered++ })
 		total := int(nPkts) + 1
 		for i := 0; i < total; i++ {
-			n.Inject(0, newData(0, 2, uint32(i), 1000))
-			n.Inject(1, newData(1, 3, uint32(i), 1000))
+			n.Inject(0, newData(0, 2, packet.PSN(i), 1000))
+			n.Inject(1, newData(1, 3, packet.PSN(i), 1000))
 		}
 		e.RunAll()
 		ctr := n.Counters()

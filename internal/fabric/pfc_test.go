@@ -23,7 +23,7 @@ func incastPFC(t *testing.T, senders, pkts int, buf int) (*Network, *sim.Engine,
 	n.AttachHost(dst, c.recv(e))
 	for i := 0; i < pkts; i++ {
 		for h := 0; h < senders; h++ {
-			n.Inject(packet.NodeID(h), newData(packet.NodeID(h), dst, uint32(i), 1000))
+			n.Inject(packet.NodeID(h), newData(packet.NodeID(h), dst, packet.PSN(i), 1000))
 		}
 	}
 	return n, e, &c
@@ -61,7 +61,7 @@ func TestWithoutPFCSameIncastDrops(t *testing.T) {
 	n.AttachHost(4, c.recv(e))
 	for i := 0; i < 200; i++ {
 		for h := 0; h < 4; h++ {
-			n.Inject(packet.NodeID(h), newData(packet.NodeID(h), 4, uint32(i), 1000))
+			n.Inject(packet.NodeID(h), newData(packet.NodeID(h), 4, packet.PSN(i), 1000))
 		}
 	}
 	e.RunAll()
@@ -75,9 +75,9 @@ func TestPFCOrderPreservedPerPath(t *testing.T) {
 	_ = n
 	e.RunAll()
 	// Per-flow FIFO must survive pause/resume cycles.
-	last := map[packet.NodeID]uint32{}
+	last := map[packet.NodeID]packet.PSN{}
 	for _, p := range c.pkts {
-		if prev, ok := last[p.Src]; ok && p.PSN <= prev {
+		if prev, ok := last[p.Src]; ok && !p.PSN.After(prev) {
 			t.Fatalf("flow %d reordered: %d after %d", p.Src, p.PSN, prev)
 		}
 		last[p.Src] = p.PSN
@@ -97,8 +97,8 @@ func TestPFCControlNeverPaused(t *testing.T) {
 	var c collector
 	n.AttachHost(2, c.recv(e))
 	for i := 0; i < 300; i++ {
-		n.Inject(0, newData(0, 2, uint32(i), 1000))
-		n.Inject(1, newData(1, 2, uint32(i), 1000))
+		n.Inject(0, newData(0, 2, packet.PSN(i), 1000))
+		n.Inject(1, newData(1, 2, packet.PSN(i), 1000))
 	}
 	n.Inject(0, &packet.Packet{Kind: packet.Ack, Src: 0, Dst: 2, PSN: 1})
 	e.RunAll()

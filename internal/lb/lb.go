@@ -190,7 +190,7 @@ func (PSNSpray) Name() string { return "psn-spray" }
 
 // SprayIndex computes Eq. 1's path index for a PSN given the flow's hash and
 // the path count n.
-func SprayIndex(psn uint32, flowHash uint32, n int) int {
+func SprayIndex(psn packet.PSN, flowHash uint32, n int) int {
 	base := Index(flowHash, n)
-	return (int(psn%uint32(n)) + base) % n
+	return (psn.Mod(n) + base) % n
 }

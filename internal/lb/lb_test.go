@@ -26,7 +26,7 @@ func (c *fakeCtx) QueueBytes(p int) int { return c.queues[p] }
 func (c *fakeCtx) Rand() *rand.Rand     { return c.rng }
 func (c *fakeCtx) Seed() uint32         { return c.seed }
 
-func dataPkt(src, dst packet.NodeID, sport uint16, psn uint32) *packet.Packet {
+func dataPkt(src, dst packet.NodeID, sport uint16, psn packet.PSN) *packet.Packet {
 	return &packet.Packet{Kind: packet.Data, Src: src, Dst: dst, SPort: sport, DPort: 4791, PSN: psn, Payload: 1000}
 }
 
@@ -87,7 +87,7 @@ func TestECMPStickyPerFlow(t *testing.T) {
 	ctx := newFakeCtx()
 	var sel ECMP
 	first := sel.Select(dataPkt(1, 2, 100, 0), cands, ctx)
-	for psn := uint32(1); psn < 100; psn++ {
+	for psn := packet.PSN(1); psn < 100; psn++ {
 		if got := sel.Select(dataPkt(1, 2, 100, psn), cands, ctx); got != first {
 			t.Fatal("ECMP moved a flow across paths")
 		}
@@ -171,7 +171,7 @@ func TestPSNSprayEq1(t *testing.T) {
 	var sel PSNSpray
 	p0 := dataPkt(1, 2, 100, 0)
 	base := Index(Hash(p0.Key()), 4)
-	for psn := uint32(0); psn < 64; psn++ {
+	for psn := packet.PSN(0); psn < 64; psn++ {
 		p := dataPkt(1, 2, 100, psn)
 		want := cands[(int(psn%4)+base)%4]
 		if got := sel.Select(p, cands, ctx); got != want {
@@ -187,7 +187,7 @@ func TestPSNSprayControlFallsBackToECMP(t *testing.T) {
 	ack := &packet.Packet{Kind: packet.Ack, Src: 2, Dst: 1, SPort: 99, DPort: 4791, PSN: 5}
 	want := ECMP{}.Select(ack, cands, ctx)
 	for i := 0; i < 10; i++ {
-		ack.PSN = uint32(i)
+		ack.PSN = packet.PSN(i)
 		if got := sel.Select(ack, cands, ctx); got != want {
 			t.Fatal("control packets must be ECMP-routed, independent of PSN")
 		}
@@ -199,7 +199,7 @@ func TestPSNSprayControlFallsBackToECMP(t *testing.T) {
 func TestSprayIndexCongruenceProperty(t *testing.T) {
 	f := func(psnA, psnB, flowHash uint32, nRaw uint8) bool {
 		n := int(nRaw%64) + 1
-		same := SprayIndex(psnA, flowHash, n) == SprayIndex(psnB, flowHash, n)
+		same := SprayIndex(packet.PSN(psnA), flowHash, n) == SprayIndex(packet.PSN(psnB), flowHash, n)
 		return same == (psnA%uint32(n) == psnB%uint32(n))
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -211,8 +211,8 @@ func TestSprayIndexCongruenceProperty(t *testing.T) {
 func TestSprayIndexUniform(t *testing.T) {
 	for n := 1; n <= 16; n++ {
 		seen := make(map[int]int)
-		for psn := uint32(0); psn < uint32(n); psn++ {
-			seen[SprayIndex(psn, 0xdeadbeef, n)]++
+		for psn := 0; psn < n; psn++ {
+			seen[SprayIndex(packet.PSN(psn), 0xdeadbeef, n)]++
 		}
 		if len(seen) != n {
 			t.Fatalf("n=%d: used %d distinct paths", n, len(seen))

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sinkNames lists the functions whose invocation order is order-sensitive
+// simulation state: scheduling on the event queue, (re)arming timers, and
+// appending to the trace ring. A function from which any of these is
+// reachable must not iterate maps (see MapOrder).
+func sinkNames(modPath string) map[string]bool {
+	return map[string]bool{
+		"(*" + modPath + "/internal/sim.Engine).At":            true,
+		"(*" + modPath + "/internal/sim.Engine).Schedule":      true,
+		"(*" + modPath + "/internal/sim.Timer).Reset":          true,
+		"(*" + modPath + "/internal/sim.Ticker).Start":         true,
+		"(*" + modPath + "/internal/trace.Tracer).Record":      true,
+		"(*" + modPath + "/internal/trace.Tracer).RecordPacket": true,
+		"(*" + modPath + "/internal/trace.Tracer).RecordFault": true,
+		"(*" + modPath + "/internal/fabric.Network).Inject":    true,
+	}
+}
+
+// BuildReach computes, over all loaded module packages, the set of functions
+// (keyed by types.Func.FullName) from which an event-queue or trace sink is
+// reachable through the static call graph. The graph is simple by design:
+//
+//   - direct calls (pkg.F, recv.M, local f) produce edges;
+//   - calls through an interface method are resolved class-hierarchy style to
+//     every concrete method in the module that implements the interface;
+//   - calls through plain function values are not tracked.
+//
+// Closures count toward their enclosing declaration: a function that builds
+// an event callback inside a map range is exactly the bug the analyzer is
+// hunting, even though the callback body runs later.
+func BuildReach(pkgs []*Package, modPath string) map[string]bool {
+	sinks := sinkNames(modPath)
+
+	// Concrete (non-interface) named types, for interface-call resolution.
+	var concrete []types.Type
+	for _, p := range pkgs {
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if !types.IsInterface(tn.Type()) {
+				concrete = append(concrete, tn.Type())
+			}
+		}
+	}
+
+	// implementers resolves an interface method to the matching concrete
+	// methods in the module.
+	implementers := func(iface *types.Interface, name string, pkg *types.Package) []*types.Func {
+		var out []*types.Func
+		for _, t := range concrete {
+			pt := types.NewPointer(t)
+			if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(pt, true, pkg, name)
+			if fn, ok := obj.(*types.Func); ok {
+				out = append(out, fn)
+			}
+		}
+		return out
+	}
+
+	edges := make(map[string][]string)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				from := caller.FullName()
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(p.Info, call)
+					if fn == nil {
+						return true
+					}
+					edges[from] = append(edges[from], fn.FullName())
+					if recv := recvOf(fn); recv != nil {
+						if iface, ok := recv.Underlying().(*types.Interface); ok {
+							for _, impl := range implementers(iface, fn.Name(), fn.Pkg()) {
+								edges[from] = append(edges[from], impl.FullName())
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Reverse reachability from the sinks.
+	rev := make(map[string][]string)
+	for from, tos := range edges {
+		for _, to := range tos {
+			rev[to] = append(rev[to], from)
+		}
+	}
+	reach := make(map[string]bool)
+	var queue []string
+	for s := range sinks {
+		reach[s] = true
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, caller := range rev[cur] {
+			if !reach[caller] {
+				reach[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return reach
+}
+
+// calleeFunc resolves the statically-known callee of a call expression.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvOf returns the receiver type of a method, nil for plain functions.
+func recvOf(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts `// want "..."` expectations from fixture lines. The quoted
+// text is a regexp matched against the diagnostic message.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// expectation is one `// want` marker.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func parseWants(t *testing.T, dir string) []expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, m[1], err)
+				}
+				wants = append(wants, expectation{file: path, line: line, re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// TestGolden runs the full analyzer suite over each fixture package and
+// requires an exact match between the diagnostics produced and the `// want`
+// markers: every marker must be satisfied by a diagnostic on its line, and
+// every diagnostic must be claimed by a marker.
+func TestGolden(t *testing.T) {
+	modRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"wallclock", "maporder", "psncompare", "timeunits"} {
+		t.Run(family, func(t *testing.T) {
+			dir := filepath.Join(modRoot, "internal", "lint", "testdata", "src", family)
+			ldr, err := NewLoader(modRoot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := ldr.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			reach := BuildReach(ldr.Packages(), ldr.ModPath)
+			pass := &Pass{Fset: ldr.Fset, Pkg: pkg, Reach: reach}
+			var got []Diagnostic
+			for _, a := range Analyzers {
+				got = append(got, a.Run(pass)...)
+			}
+
+			wants := parseWants(t, dir)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want markers", family)
+			}
+			claimed := make([]bool, len(got))
+			for _, w := range wants {
+				matched := false
+				for i, d := range got {
+					if claimed[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+						continue
+					}
+					if w.re.MatchString(d.Message) {
+						claimed[i] = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+			for i, d := range got {
+				if !claimed[i] {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestRunSkipsFixtures ensures the top-level driver never reports the seeded
+// violations in the fixture tree: testdata is excluded from pattern
+// expansion, and the lint package itself is out of every analyzer's scope.
+func TestRunSkipsFixtures(t *testing.T) {
+	modRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(modRoot, []string{"internal/lint/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic from lint's own tree: %s", d)
+	}
+}
+
+// TestRunCleanTree is the self-test that gates make verify from inside the
+// test suite as well: the repaired repository must lint clean.
+func TestRunCleanTree(t *testing.T) {
+	modRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(modRoot, []string{"internal/...", "cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository does not lint clean: %s", d)
+	}
+	if testing.Verbose() {
+		fmt.Printf("lint: clean over internal/... and cmd/...\n")
+	}
+}

@@ -1,0 +1,201 @@
+// Package lint is themis-lint: a stdlib-only static-analysis suite that
+// enforces the two properties the whole repo rests on — bit-for-bit
+// deterministic simulation and the paper's protocol invariants.
+//
+// Four analyzer families run over ./internal/... and ./cmd/...:
+//
+//   - no-wallclock / no-global-rand: simulation packages must not read the
+//     wall clock (time.Now, time.Since, ...) or the process-global math/rand
+//     source; virtual time comes from sim.Engine and randomness from the
+//     seeded *rand.Rand threaded through the scenario seed.
+//
+//   - map-order: `range` over a map inside any function that (transitively,
+//     through a simple call graph) schedules simulation events or appends to
+//     the trace ring is flagged — Go randomizes map iteration order, so such
+//     a loop feeds nondeterminism straight into the event queue. Bodies that
+//     are verified commutative carry a `//lint:ordered` annotation.
+//
+//   - psn-compare: direct `<` `>` `<=` `>=` between packet.PSN operands is
+//     wrong near the 24-bit wrap point; use the serial-number-safe
+//     Before/After/Diff helpers.
+//
+//   - time-units: untyped integer literals added to or subtracted from
+//     sim.Time / sim.Duration values are raw picoseconds in disguise; scale
+//     a unit constant instead (e.g. 5*sim.Microsecond).
+//
+// The driver (cmd/themis-lint) exits non-zero on findings so the suite gates
+// `make verify`. Analyzers are built on go/parser + go/types only — no
+// dependencies beyond the standard library.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, carrying an exact source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string // analyzer name
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Pass is the per-package unit of analyzer work.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	// Reach is the set of functions from which an event-queue or trace sink
+	// is reachable (used by the map-order analyzer; nil disables the check).
+	Reach map[string]bool
+}
+
+// Analyzer is one rule family.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Diagnostic
+}
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*Analyzer{Wallclock, MapOrder, PSNCompare, TimeUnits}
+
+// Run loads every package matched by patterns (relative to modRoot), runs the
+// suite with its per-analyzer package scoping, and returns the findings
+// sorted by position. Patterns are directories or `dir/...` wildcards, as the
+// go tool spells them; `testdata` trees are always skipped.
+func Run(modRoot string, patterns []string) ([]Diagnostic, error) {
+	ldr, err := NewLoader(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(modRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	for _, dir := range dirs {
+		p, err := ldr.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
+		}
+		targets = append(targets, p)
+	}
+	reach := BuildReach(ldr.Packages(), ldr.ModPath)
+	var diags []Diagnostic
+	for _, p := range targets {
+		for _, a := range Analyzers {
+			if !inScope(a, p.Path, ldr.ModPath) {
+				continue
+			}
+			pass := &Pass{Fset: ldr.Fset, Pkg: p, Reach: reach}
+			diags = append(diags, a.Run(pass)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+// inScope applies the per-analyzer package scoping:
+//   - no-wallclock runs on simulation packages (internal/...) only — CLIs may
+//     legitimately read the wall clock for progress reporting;
+//   - time-units skips package sim itself, which defines the unit constants;
+//   - the lint package and its fixtures are exempt from everything (they
+//     contain violations on purpose).
+func inScope(a *Analyzer, pkgPath, modPath string) bool {
+	lintPath := modPath + "/internal/lint"
+	if pkgPath == lintPath || strings.HasPrefix(pkgPath, lintPath+"/") {
+		return false
+	}
+	switch a {
+	case Wallclock:
+		return strings.HasPrefix(pkgPath, modPath+"/internal/")
+	case TimeUnits:
+		return pkgPath != modPath+"/internal/sim"
+	default:
+		return true
+	}
+}
+
+// expandPatterns resolves go-style package patterns to directories holding at
+// least one non-test Go file.
+func expandPatterns(modRoot string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "" || pat == "." {
+			pat = modRoot
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(modRoot, pat)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map inside any function from which an
+// event-queue or trace sink is reachable. Go randomizes map iteration order,
+// so such a loop feeds nondeterminism straight into the simulation schedule.
+// A loop whose body is verified commutative (e.g. deleting independent stale
+// entries) may carry a `//lint:ordered` annotation on the `for` line or the
+// line directly above it.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map iteration in functions that reach the event queue or trace ring",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		ordered := orderedLines(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !pass.Reach[fn.FullName()] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				line := pass.Fset.Position(rs.For).Line
+				if ordered[line] || ordered[line-1] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  pass.Fset.Position(rs.For),
+					Rule: "maporder",
+					Message: "map iteration in " + fn.Name() +
+						", which reaches the event queue or trace ring; iterate sorted keys or annotate //lint:ordered",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// orderedLines collects the source lines carrying a //lint:ordered marker.
+func orderedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "lint:ordered") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PSNCompare flags direct ordered comparisons between packet.PSN operands.
+// PSNs live in the 24-bit BTH sequence space and wrap; raw `<` is wrong for
+// any pair straddling the wrap point. Use the serial-number-safe
+// Before/After/Diff methods instead. Equality comparisons are fine.
+var PSNCompare = &Analyzer{
+	Name: "psncompare",
+	Doc:  "forbid raw </>/<=/>= between PSN operands; use Before/After/Diff",
+	Run:  runPSNCompare,
+}
+
+var psnCmpOps = map[token.Token]bool{
+	token.LSS: true,
+	token.GTR: true,
+	token.LEQ: true,
+	token.GEQ: true,
+}
+
+func runPSNCompare(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !psnCmpOps[be.Op] {
+				return true
+			}
+			if isPSN(pass, be.X) || isPSN(pass, be.Y) {
+				diags = append(diags, Diagnostic{
+					Pos:  pass.Fset.Position(be.OpPos),
+					Rule: "psncompare",
+					Message: "raw " + be.Op.String() +
+						" between PSN operands breaks at the 24-bit wrap; use Before/After/Diff",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isPSN reports whether the expression has the named type packet.PSN.
+func isPSN(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "PSN" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "/internal/packet")
+}

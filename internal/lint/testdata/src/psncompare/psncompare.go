@@ -1,0 +1,26 @@
+// Package psncompare is a themis-lint golden fixture: ordered comparisons
+// between packet.PSN operands must go through the serial-number helpers.
+package psncompare
+
+import "themis/internal/packet"
+
+func bad(a, b packet.PSN) bool {
+	if a < b { // want "raw < between PSN operands"
+		return true
+	}
+	if a >= b { // want "raw >= between PSN operands"
+		return false
+	}
+	return b > packet.NewPSN(100) // want "raw > between PSN operands"
+}
+
+func good(a, b packet.PSN) bool {
+	if a == b || a != b.Next() {
+		return a.Before(b)
+	}
+	// Diff returns a plain int32; comparing it is the sanctioned idiom.
+	return a.Diff(b) < 0
+}
+
+// untyped is unrelated integer ordering and must not fire.
+func untyped(a, b uint32) bool { return a < b }

@@ -1,0 +1,23 @@
+// Package timeunits is a themis-lint golden fixture: bare integer literals
+// in sim.Time / sim.Duration addition are raw picoseconds in disguise.
+package timeunits
+
+import "themis/internal/sim"
+
+// Constant unit scaling is the idiom the analyzer must leave alone.
+const budget = 10 * sim.Microsecond
+
+func bad(t sim.Time, d sim.Duration) sim.Time {
+	t = t + 500 // want "bare integer literal in sim time arithmetic"
+	t += 3      // want "bare integer literal in sim time arithmetic"
+	d -= 7      // want "bare integer literal in sim time arithmetic"
+	return t - 1 + sim.Time(d) // want "bare integer literal in sim time arithmetic"
+}
+
+func good(t sim.Time, d sim.Duration) sim.Time {
+	t = t.Add(5 * sim.Microsecond)
+	t = t + sim.Time(d)
+	d = 2 * d // scaling by a literal is how unit constants are built
+	t += sim.Time(budget)
+	return t
+}

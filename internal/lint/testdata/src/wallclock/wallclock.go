@@ -1,0 +1,25 @@
+// Package wallclock is a themis-lint golden fixture: every line below marked
+// `// want` must produce exactly that diagnostic, and nothing else may fire.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()               // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	_ = time.Since(time.Time{})  // want "time.Since reads the wall clock"
+	_ = rand.Int()               // want "rand.Int uses the process-global source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle uses the process-global source"
+}
+
+func good() {
+	// Explicitly seeded generators are the sanctioned randomness source.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Int()
+	// time.Duration arithmetic and formatting never touch the clock.
+	d := 5 * time.Millisecond
+	_ = d.String()
+}

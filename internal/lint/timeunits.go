@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TimeUnits flags untyped integer literals added to or subtracted from
+// sim.Time / sim.Duration values: a bare literal in that position is raw
+// picoseconds in disguise. Scale a unit constant instead (5*sim.Microsecond).
+// Multiplication and division are allowed — that IS the idiom for scaling a
+// unit constant — and fully constant expressions (unit definitions such as
+// `Forever = 1<<63 - 1`) are skipped.
+var TimeUnits = &Analyzer{
+	Name: "timeunits",
+	Doc:  "forbid bare integer literals in sim.Time/sim.Duration addition",
+	Run:  runTimeUnits,
+}
+
+func runTimeUnits(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos) {
+		diags = append(diags, Diagnostic{
+			Pos:     pass.Fset.Position(pos),
+			Rule:    "timeunits",
+			Message: "bare integer literal in sim time arithmetic is raw picoseconds; scale a unit constant (e.g. 5*sim.Microsecond)",
+		})
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.ADD && e.Op != token.SUB {
+					return true
+				}
+				// A constant expression is a unit definition, not arithmetic
+				// on a running clock.
+				if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+					return true
+				}
+				if !isSimTime(pass, e.X) && !isSimTime(pass, e.Y) {
+					return true
+				}
+				if lit := intLiteral(e.X); lit != nil {
+					report(lit.Pos())
+				}
+				if lit := intLiteral(e.Y); lit != nil {
+					report(lit.Pos())
+				}
+			case *ast.AssignStmt:
+				if e.Tok != token.ADD_ASSIGN && e.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				if len(e.Lhs) != 1 || len(e.Rhs) != 1 || !isSimTime(pass, e.Lhs[0]) {
+					return true
+				}
+				if lit := intLiteral(e.Rhs[0]); lit != nil {
+					report(lit.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isSimTime reports whether the expression has named type sim.Time or
+// sim.Duration.
+func isSimTime(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "/internal/sim") {
+		return false
+	}
+	return obj.Name() == "Time" || obj.Name() == "Duration"
+}
+
+// intLiteral unwraps parens and unary +/- and returns the INT literal, if any.
+func intLiteral(e ast.Expr) *ast.BasicLit {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.ADD && v.Op != token.SUB {
+				return nil
+			}
+			e = v.X
+		case *ast.BasicLit:
+			if v.Kind == token.INT {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

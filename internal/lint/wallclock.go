@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids wall-clock reads and the process-global math/rand source
+// in simulation packages. Virtual time comes from sim.Engine; randomness comes
+// from the seeded *rand.Rand threaded through the scenario configuration.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Sleep/timers and package-level math/rand in simulation packages",
+	Run:  runWallclock,
+}
+
+// forbiddenTime are the package time functions that read or wait on the wall
+// clock. time.Duration arithmetic and formatting helpers stay allowed.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// allowedRand are the math/rand package-level functions that do NOT touch the
+// global source: constructors for explicitly seeded generators.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runWallclock(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if forbiddenTime[sel.Sel.Name] {
+					diags = append(diags, Diagnostic{
+						Pos:     pass.Fset.Position(sel.Pos()),
+						Rule:    "wallclock",
+						Message: "time." + sel.Sel.Name + " reads the wall clock; simulation time must come from sim.Engine",
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if obj, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); ok && !allowedRand[obj.Name()] {
+					diags = append(diags, Diagnostic{
+						Pos:     pass.Fset.Position(sel.Pos()),
+						Rule:    "wallclock",
+						Message: "rand." + sel.Sel.Name + " uses the process-global source; use the seeded *rand.Rand from the scenario",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

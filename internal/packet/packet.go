@@ -77,8 +77,8 @@ type Packet struct {
 	DPort    uint16 // UDP destination port (RoCEv2 4791, constant)
 
 	// Transport fields.
-	PSN     uint32 // BTH packet sequence number (Data), or AETH ePSN (Ack/Nack)
-	Payload int    // payload bytes (0 for control)
+	PSN     PSN // BTH packet sequence number (Data), or AETH ePSN (Ack/Nack)
+	Payload int // payload bytes (0 for control)
 
 	// Congestion signals.
 	ECN bool // CE mark applied by a switch on the way

@@ -116,7 +116,7 @@ func TestPoolZeroingProperty(t *testing.T) {
 	pl := NewPool()
 	f := func(psn uint32, payload uint16, ecn, rtx bool, sport uint16) bool {
 		p := pl.Get()
-		p.PSN = psn
+		p.PSN = PSN(psn)
 		p.Payload = int(payload)
 		p.ECN = ecn
 		p.Retransmit = rtx

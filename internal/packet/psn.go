@@ -1,0 +1,72 @@
+package packet
+
+// PSN is a BTH packet sequence number: a 24-bit serial number that wraps
+// around, compared RFC 1982-style. Raw relational operators on PSNs are wrong
+// near the wrap point (PSN 0xFFFFFF is *before* PSN 0, but `<` says the
+// opposite), so direct `<`/`>`/`<=`/`>=` between PSN operands is forbidden by
+// the psn-compare analyzer in internal/lint; use Before/After/Diff instead.
+//
+// The half-window comparison is sound as long as the span of simultaneously
+// live sequence numbers (the send window plus reordering depth) stays below
+// 2^23 packets — trivially true for any realistic QP, whose in-flight window
+// is bounded by BDP.
+type PSN uint32
+
+// PSNBits is the width of the BTH sequence-number space.
+const (
+	PSNBits = 24
+	psnMod  = 1 << PSNBits
+	psnMask = psnMod - 1
+	psnHalf = 1 << (PSNBits - 1)
+)
+
+// NewPSN returns v reduced into the 24-bit PSN space.
+func NewPSN(v uint32) PSN { return PSN(v & psnMask) }
+
+// Uint32 returns the raw 24-bit value.
+func (p PSN) Uint32() uint32 { return uint32(p) & psnMask }
+
+// Next returns the successor sequence number, wrapping at 2^24.
+func (p PSN) Next() PSN { return PSN((uint32(p) + 1) & psnMask) }
+
+// Add returns p shifted by n (n may be negative), wrapping at 2^24.
+func (p PSN) Add(n int) PSN {
+	return PSN(uint32(int64(p)+int64(n)) & psnMask)
+}
+
+// Before reports whether p precedes q in the wrapping sequence space: the
+// forward distance from p to q is in (0, 2^23). Equal PSNs are not Before
+// each other; the ambiguous antipodal case (distance exactly 2^23) reports
+// false in both directions, as RFC 1982 leaves it undefined.
+func (p PSN) Before(q PSN) bool {
+	d := (uint32(q) - uint32(p)) & psnMask
+	return d != 0 && d < psnHalf
+}
+
+// After reports whether p succeeds q in the wrapping sequence space.
+func (p PSN) After(q PSN) bool { return q.Before(p) }
+
+// Diff returns the signed smallest sequence distance p-q, in
+// [-2^23, 2^23): positive when p is after q.
+func (p PSN) Diff(q PSN) int32 {
+	d := (uint32(p) - uint32(q)) & psnMask
+	if d >= psnHalf {
+		return int32(d) - psnMod
+	}
+	return int32(d)
+}
+
+// Mod returns the PSN's residue modulo n — the Eq. 1 path index. Because the
+// PSN space (2^24) is generally not a multiple of n, the residue jumps at the
+// wrap point; callers that compare residues across the wrap must keep the
+// comparison window small (Themis-D's ring window is, by construction).
+func (p PSN) Mod(n int) int {
+	if n <= 0 {
+		panic("packet: PSN.Mod with non-positive modulus")
+	}
+	return int(uint32(p) % uint32(n))
+}
+
+// Trunc returns the 1-byte truncated PSN that Themis-D stores in its ring
+// queue (§3.3).
+func (p PSN) Trunc() uint8 { return uint8(p) }

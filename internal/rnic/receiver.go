@@ -26,11 +26,11 @@ type ReceiverQP struct {
 	src   packet.NodeID
 	sport uint16 // the flow's forward-direction sport (reverse control reuses it)
 
-	epsn   uint32
-	bitmap map[uint32]int // OOO buffer: PSN -> payload size (SelectiveRepeat/Ideal)
+	epsn   packet.PSN
+	bitmap map[packet.PSN]int // OOO buffer: PSN -> payload size (SelectiveRepeat/Ideal)
 
 	// NIC-SR NACK duplication guard: at most one NACK per ePSN value.
-	nackedEPSN uint32
+	nackedEPSN packet.PSN
 	nackedSet  bool
 
 	inOrderStreak int // for ACK coalescing
@@ -42,7 +42,7 @@ type ReceiverQP struct {
 
 	// OnDeliver, if set, observes every in-order payload delivery (psn,
 	// payload) as ePSN advances.
-	OnDeliver func(t sim.Time, psn uint32, payload int)
+	OnDeliver func(t sim.Time, psn packet.PSN, payload int)
 }
 
 func newReceiverQP(n *NIC, qp packet.QPID, src packet.NodeID, sport uint16) *ReceiverQP {
@@ -51,7 +51,7 @@ func newReceiverQP(n *NIC, qp packet.QPID, src packet.NodeID, sport uint16) *Rec
 		qp:     qp,
 		src:    src,
 		sport:  sport,
-		bitmap: make(map[uint32]int),
+		bitmap: make(map[packet.PSN]int),
 	}
 }
 
@@ -59,7 +59,7 @@ func newReceiverQP(n *NIC, qp packet.QPID, src packet.NodeID, sport uint16) *Rec
 func (r *ReceiverQP) QP() packet.QPID { return r.qp }
 
 // EPSN returns the expected PSN.
-func (r *ReceiverQP) EPSN() uint32 { return r.epsn }
+func (r *ReceiverQP) EPSN() packet.PSN { return r.epsn }
 
 // Stats returns a snapshot of the receiver counters.
 func (r *ReceiverQP) Stats() ReceiverStats { return r.stats }
@@ -74,7 +74,7 @@ func (r *ReceiverQP) onData(p *packet.Packet) {
 	case p.PSN == r.epsn:
 		r.stats.InOrder++
 		r.deliver(p.PSN, p.Payload)
-		r.epsn++
+		r.epsn = r.epsn.Next()
 		// Drain the OOO bitmap: advance to the smallest missing PSN.
 		drained := 0
 		for {
@@ -84,7 +84,7 @@ func (r *ReceiverQP) onData(p *packet.Packet) {
 			}
 			delete(r.bitmap, r.epsn)
 			r.deliver(r.epsn, payload)
-			r.epsn++
+			r.epsn = r.epsn.Next()
 			drained++
 		}
 		r.inOrderStreak++
@@ -96,7 +96,7 @@ func (r *ReceiverQP) onData(p *packet.Packet) {
 			r.sendAck()
 		}
 
-	case p.PSN > r.epsn:
+	case p.PSN.After(r.epsn):
 		r.stats.OutOfOrder++
 		switch r.nic.cfg.Transport {
 		case SelectiveRepeat:
@@ -129,7 +129,7 @@ func (r *ReceiverQP) onData(p *packet.Packet) {
 	}
 }
 
-func (r *ReceiverQP) deliver(psn uint32, payload int) {
+func (r *ReceiverQP) deliver(psn packet.PSN, payload int) {
 	r.stats.BytesRecv += uint64(payload)
 	if r.OnDeliver != nil {
 		r.OnDeliver(r.nic.engine.Now(), psn, payload)

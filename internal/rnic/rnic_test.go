@@ -37,7 +37,7 @@ func newTestNIC(e *sim.Engine, id packet.NodeID, tr Transport, sink *capture) *N
 // tests cannot use RunAll: with no ACK path the RTO re-arms forever.
 func runFor(e *sim.Engine, d sim.Duration) { e.Run(e.Now().Add(d)) }
 
-func data(qp packet.QPID, src, dst packet.NodeID, psn uint32, payload int) *packet.Packet {
+func data(qp packet.QPID, src, dst packet.NodeID, psn packet.PSN, payload int) *packet.Packet {
 	return &packet.Packet{Kind: packet.Data, Src: src, Dst: dst, QP: qp, SPort: 7, DPort: 4791, PSN: psn, Payload: payload}
 }
 
@@ -48,7 +48,7 @@ func TestReceiverInOrderAcks(t *testing.T) {
 	var sink capture
 	n := newTestNIC(e, 1, SelectiveRepeat, &sink)
 	r := n.OpenReceiver(1, 0, 7)
-	for psn := uint32(0); psn < 5; psn++ {
+	for psn := packet.PSN(0); psn < 5; psn++ {
 		r.onData(data(1, 0, 1, psn, 1000))
 	}
 	if r.EPSN() != 5 {
@@ -163,7 +163,7 @@ func TestReceiverIdealNeverNacks(t *testing.T) {
 	var sink capture
 	n := newTestNIC(e, 1, Ideal, &sink)
 	r := n.OpenReceiver(1, 0, 7)
-	for _, psn := range []uint32{3, 1, 2, 7, 5} {
+	for _, psn := range []packet.PSN{3, 1, 2, 7, 5} {
 		r.onData(data(1, 0, 1, psn, 1000))
 	}
 	if len(sink.byKind(packet.Nack)) != 0 {
@@ -180,7 +180,7 @@ func TestReceiverCNPRateLimit(t *testing.T) {
 	var sink capture
 	n := New(e, 1, Config{LineRate: 100e9, DisableCC: true, CNPInterval: 50 * sim.Microsecond}, sink.inject)
 	r := n.OpenReceiver(1, 0, 7)
-	mk := func(psn uint32) *packet.Packet {
+	mk := func(psn packet.PSN) *packet.Packet {
 		p := data(1, 0, 1, psn, 1000)
 		p.ECN = true
 		return p
@@ -200,8 +200,8 @@ func TestReceiverOnDeliverCallback(t *testing.T) {
 	var sink capture
 	n := newTestNIC(e, 1, SelectiveRepeat, &sink)
 	r := n.OpenReceiver(1, 0, 7)
-	var delivered []uint32
-	r.OnDeliver = func(_ sim.Time, psn uint32, _ int) { delivered = append(delivered, psn) }
+	var delivered []packet.PSN
+	r.OnDeliver = func(_ sim.Time, psn packet.PSN, _ int) { delivered = append(delivered, psn) }
 	r.onData(data(1, 0, 1, 1, 1000))
 	r.onData(data(1, 0, 1, 0, 1000))
 	if len(delivered) != 2 || delivered[0] != 0 || delivered[1] != 1 {
@@ -226,7 +226,7 @@ func TestSenderPacketization(t *testing.T) {
 		t.Fatalf("payloads = %d,%d,%d", ds[0].Payload, ds[1].Payload, ds[2].Payload)
 	}
 	for i, p := range ds {
-		if p.PSN != uint32(i) {
+		if p.PSN != packet.PSN(i) {
 			t.Fatalf("psn sequence broken at %d", i)
 		}
 		if p.Retransmit {
@@ -349,7 +349,7 @@ func TestSenderGBNRewind(t *testing.T) {
 		t.Fatalf("GBN resent %d packets, want 3 (PSNs 1..3)", len(ds))
 	}
 	for i, p := range ds {
-		if p.PSN != uint32(1+i) || !p.Retransmit {
+		if p.PSN != packet.PSN(1+i) || !p.Retransmit {
 			t.Fatalf("GBN rewind packet %d = %+v", i, p)
 		}
 	}
@@ -506,7 +506,7 @@ func TestReceiverAckCoalescing(t *testing.T) {
 	var sink capture
 	n := New(e, 1, Config{LineRate: 100e9, DisableCC: true, AckEvery: 4, RTO: sim.Second}, sink.inject)
 	r := n.OpenReceiver(1, 0, 7)
-	for psn := uint32(0); psn < 8; psn++ {
+	for psn := packet.PSN(0); psn < 8; psn++ {
 		r.onData(data(1, 0, 1, psn, 1000))
 	}
 	// 8 in-order arrivals, ack every 4th: exactly 2 ACKs.

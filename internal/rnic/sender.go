@@ -21,7 +21,7 @@ type SenderStats struct {
 
 // message tracks one posted send.
 type message struct {
-	endPSN uint32 // PSN one past the last packet of the message
+	endPSN packet.PSN // PSN one past the last packet of the message
 	size   int64
 	done   func()
 }
@@ -36,16 +36,17 @@ type SenderQP struct {
 
 	dcqcn *cc.DCQCN
 
-	// PSN space.
-	nextPSN  uint32         // next fresh PSN to assign (message packetization)
-	sendPSN  uint32         // next PSN to transmit (rewinds under GBN)
-	maxSent  uint32         // one past the highest PSN ever transmitted
-	cumAck   uint32         // everything below is acknowledged
-	lastSize map[uint32]int // payload size per PSN for tail packets (non-MTU)
+	// PSN space. All comparisons go through packet.PSN's serial-number
+	// arithmetic so the window logic survives the 24-bit wrap.
+	nextPSN  packet.PSN         // next fresh PSN to assign (message packetization)
+	sendPSN  packet.PSN         // next PSN to transmit (rewinds under GBN)
+	maxSent  packet.PSN         // one past the highest PSN ever transmitted
+	cumAck   packet.PSN         // everything below is acknowledged
+	lastSize map[packet.PSN]int // payload size per PSN for tail packets (non-MTU)
 
 	// Retransmit queue (SelectiveRepeat/Ideal): PSNs to resend, FIFO.
-	rtxQueue   []uint32
-	rtxPending map[uint32]bool
+	rtxQueue   []packet.PSN
+	rtxPending map[packet.PSN]bool
 
 	messages []message
 
@@ -58,7 +59,7 @@ type SenderQP struct {
 	stats SenderStats
 
 	// OnSend, if set, observes every injected data packet (after stamping).
-	OnSend func(t sim.Time, psn uint32, payload int, retransmit bool)
+	OnSend func(t sim.Time, psn packet.PSN, payload int, retransmit bool)
 	// OnComplete, if set, observes every completed message.
 	OnComplete func(t sim.Time, size int64)
 }
@@ -69,8 +70,8 @@ func newSenderQP(n *NIC, qp packet.QPID, dst packet.NodeID, sport uint16) *Sende
 		qp:         qp,
 		dst:        dst,
 		sport:      sport,
-		lastSize:   make(map[uint32]int),
-		rtxPending: make(map[uint32]bool),
+		lastSize:   make(map[packet.PSN]int),
+		rtxPending: make(map[packet.PSN]bool),
 	}
 	if !n.cfg.DisableCC {
 		s.dcqcn = cc.New(n.engine, n.cfg.CC)
@@ -105,7 +106,7 @@ func (s *SenderQP) Rate() int64 {
 // Outstanding reports whether sent-but-unacknowledged data exists. Unsent
 // backlog does not count: the retransmission timer must never fire just
 // because the pacer is slow.
-func (s *SenderQP) Outstanding() bool { return s.cumAck < s.maxSent }
+func (s *SenderQP) Outstanding() bool { return s.cumAck.Before(s.maxSent) }
 
 // curRTO returns the retransmission timeout with the current backoff applied:
 // base RTO × RTOBackoff^streak, capped at RTOMax.
@@ -133,9 +134,9 @@ func (s *SenderQP) SendMessage(size int64, done func()) {
 	mtu := int64(s.nic.cfg.MTU)
 	packets := (size + mtu - 1) / mtu
 	tail := int(size - (packets-1)*mtu)
-	endPSN := s.nextPSN + uint32(packets)
+	endPSN := s.nextPSN.Add(int(packets))
 	if tail != s.nic.cfg.MTU {
-		s.lastSize[endPSN-1] = tail
+		s.lastSize[endPSN.Add(-1)] = tail
 	}
 	s.nextPSN = endPSN
 	s.messages = append(s.messages, message{endPSN: endPSN, size: size, done: done})
@@ -143,7 +144,7 @@ func (s *SenderQP) SendMessage(size int64, done func()) {
 }
 
 // payloadOf returns the payload size of a PSN.
-func (s *SenderQP) payloadOf(psn uint32) int {
+func (s *SenderQP) payloadOf(psn packet.PSN) int {
 	if sz, ok := s.lastSize[psn]; ok {
 		return sz
 	}
@@ -220,21 +221,21 @@ func (s *SenderQP) transmitNext() {
 }
 
 // pickNext chooses the next PSN to send.
-func (s *SenderQP) pickNext() (psn uint32, retransmit bool, ok bool) {
+func (s *SenderQP) pickNext() (psn packet.PSN, retransmit bool, ok bool) {
 	// Retransmissions take priority (SelectiveRepeat/Ideal path).
 	for len(s.rtxQueue) > 0 {
 		psn = s.rtxQueue[0]
 		s.rtxQueue = s.rtxQueue[1:]
 		delete(s.rtxPending, psn)
-		if psn >= s.cumAck { // still unacked
+		if !psn.Before(s.cumAck) { // still unacked
 			return psn, true, true
 		}
 	}
-	if s.sendPSN < s.nextPSN {
+	if s.sendPSN.Before(s.nextPSN) {
 		psn = s.sendPSN
-		s.sendPSN++
-		retransmit = psn < s.maxSent // only under a GBN rewind
-		if s.maxSent < s.sendPSN {
+		s.sendPSN = s.sendPSN.Next()
+		retransmit = psn.Before(s.maxSent) // only under a GBN rewind
+		if s.maxSent.Before(s.sendPSN) {
 			s.maxSent = s.sendPSN
 		}
 		return psn, retransmit, true
@@ -265,7 +266,7 @@ func (s *SenderQP) onNack(p *packet.Packet) {
 			s.dcqcn.OnNack()
 		}
 	case GoBackN:
-		if p.PSN < s.sendPSN {
+		if p.PSN.Before(s.sendPSN) {
 			s.sendPSN = p.PSN
 		}
 		if s.dcqcn != nil {
@@ -280,8 +281,8 @@ func (s *SenderQP) onNack(p *packet.Packet) {
 }
 
 // retransmitNow injects one retransmission immediately, bypassing the pacer.
-func (s *SenderQP) retransmitNow(psn uint32) {
-	if psn >= s.maxSent || psn < s.cumAck {
+func (s *SenderQP) retransmitNow(psn packet.PSN) {
+	if !psn.Before(s.maxSent) || psn.Before(s.cumAck) {
 		return
 	}
 	payload := s.payloadOf(psn)
@@ -318,8 +319,8 @@ func (s *SenderQP) onCnp(_ *packet.Packet) {
 	}
 }
 
-func (s *SenderQP) queueRetransmit(psn uint32) {
-	if psn >= s.maxSent || psn < s.cumAck || s.rtxPending[psn] {
+func (s *SenderQP) queueRetransmit(psn packet.PSN) {
+	if !psn.Before(s.maxSent) || psn.Before(s.cumAck) || s.rtxPending[psn] {
 		return
 	}
 	s.rtxPending[psn] = true
@@ -328,23 +329,24 @@ func (s *SenderQP) queueRetransmit(psn uint32) {
 
 // advanceCumAck moves the cumulative ack point, fires completions, and
 // manages the RTO.
-func (s *SenderQP) advanceCumAck(epsn uint32) {
-	if epsn <= s.cumAck {
+func (s *SenderQP) advanceCumAck(epsn packet.PSN) {
+	if !epsn.After(s.cumAck) {
 		return
 	}
-	for psn := s.cumAck; psn < epsn; psn++ {
+	for psn := s.cumAck; psn != epsn; psn = psn.Next() {
 		s.stats.GoodputBytes += uint64(s.payloadOf(psn))
 	}
-	// Drop tail-size records below the ack point.
-	for psn := range s.lastSize {
-		if psn < epsn {
+	// Drop tail-size records below the ack point. Deleting stale entries is
+	// commutative, so the map iteration order cannot leak into the run.
+	for psn := range s.lastSize { //lint:ordered
+		if psn.Before(epsn) {
 			delete(s.lastSize, psn)
 		}
 	}
 	s.cumAck = epsn
 	s.rtoStreak = 0 // ack progress: the path works again, back to the base RTO
 	now := s.nic.engine.Now()
-	for len(s.messages) > 0 && s.messages[0].endPSN <= s.cumAck {
+	for len(s.messages) > 0 && !s.messages[0].endPSN.After(s.cumAck) {
 		m := s.messages[0]
 		s.messages = s.messages[1:]
 		s.stats.Completions++
@@ -378,7 +380,7 @@ func (s *SenderQP) onTimeout() {
 	case SelectiveRepeat, Ideal:
 		s.queueRetransmit(s.cumAck)
 	case GoBackN:
-		if s.cumAck < s.sendPSN {
+		if s.cumAck.Before(s.sendPSN) {
 			s.sendPSN = s.cumAck
 		}
 	}

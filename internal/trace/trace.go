@@ -97,7 +97,7 @@ type Event struct {
 	Port int // port involved, -1 when not applicable
 	Kind packet.Kind
 	QP   packet.QPID
-	PSN  uint32
+	PSN  packet.PSN
 	Src  packet.NodeID
 	Dst  packet.NodeID
 }

@@ -8,7 +8,7 @@ import (
 	"themis/internal/sim"
 )
 
-func ev(t sim.Time, op Op, psn uint32) Event {
+func ev(t sim.Time, op Op, psn packet.PSN) Event {
 	return Event{T: t, Op: op, Sw: 1, Port: 2, Kind: packet.Data, QP: 3, PSN: psn, Src: 0, Dst: 4}
 }
 
@@ -24,14 +24,14 @@ func TestNilTracerSafe(t *testing.T) {
 func TestRecordAndEvents(t *testing.T) {
 	tr := New(8)
 	for i := 0; i < 5; i++ {
-		tr.Record(ev(sim.Time(i), SwEnq, uint32(i)))
+		tr.Record(ev(sim.Time(i), SwEnq, packet.PSN(i)))
 	}
 	evs := tr.Events()
 	if len(evs) != 5 || tr.Total() != 5 {
 		t.Fatalf("len=%d total=%d", len(evs), tr.Total())
 	}
 	for i, e := range evs {
-		if e.PSN != uint32(i) {
+		if e.PSN != packet.PSN(i) {
 			t.Fatal("order broken")
 		}
 	}
@@ -40,7 +40,7 @@ func TestRecordAndEvents(t *testing.T) {
 func TestEviction(t *testing.T) {
 	tr := New(3)
 	for i := 0; i < 10; i++ {
-		tr.Record(ev(sim.Time(i), SwEnq, uint32(i)))
+		tr.Record(ev(sim.Time(i), SwEnq, packet.PSN(i)))
 	}
 	evs := tr.Events()
 	if len(evs) != 3 {

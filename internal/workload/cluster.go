@@ -161,9 +161,15 @@ type Cluster struct {
 	NICs   []*rnic.NIC
 	Themis map[int]*core.Themis // per-ToR middleware (LB == Themis only)
 
+	// torIDs holds the Themis ToR switch IDs in creation order so that every
+	// cluster-wide middleware sweep visits instances in the same order on
+	// every run — ranging over the Themis map would not.
+	torIDs []int
+
 	nextQP    packet.QPID
 	nextSport uint16
 	conns     map[[2]packet.NodeID]*Conn
+	connList  []*Conn // creation order, for deterministic iteration
 
 	// failedLinks tracks outstanding FailLink calls so that overlapping
 	// failures repaired in any order only re-enable Themis once the fabric is
@@ -255,6 +261,7 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 				th := core.New(t, sw.ID, tcfg)
 				net.SetTorPipeline(sw.ID, th)
 				cl.Themis[sw.ID] = th
+				cl.torIDs = append(cl.torIDs, sw.ID)
 			}
 		}
 	}
@@ -274,23 +281,22 @@ func (cl *Cluster) Conn(src, dst packet.NodeID) *Conn {
 	cl.nextSport++
 	s := cl.NICs[src].OpenSender(qp, dst, sport)
 	r := cl.NICs[dst].OpenReceiver(qp, src, sport)
-	for _, th := range cl.Themis {
-		if err := th.RegisterFlow(qp, src, dst, sport); err != nil {
+	for _, id := range cl.torIDs {
+		if err := cl.Themis[id].RegisterFlow(qp, src, dst, sport); err != nil {
 			panic(err) // config error (e.g. direct spray on fat-tree): fail loudly
 		}
 	}
 	cn := &Conn{Sender: s, Receiver: r}
 	r.OnDeliver = cn.onDeliver
 	cl.conns[key] = cn
+	cl.connList = append(cl.connList, cn)
 	return cn
 }
 
-// Conns returns all connections created so far.
+// Conns returns all connections created so far, in creation order.
 func (cl *Cluster) Conns() []*Conn {
-	out := make([]*Conn, 0, len(cl.conns))
-	for _, cn := range cl.conns {
-		out = append(out, cn)
-	}
+	out := make([]*Conn, len(cl.connList))
+	copy(out, cl.connList)
 	return out
 }
 
@@ -324,8 +330,8 @@ func (cl *Cluster) Run(horizon sim.Duration) sim.Time {
 func (cl *Cluster) FailLink(sw, port int) {
 	cl.failedLinks[[2]int{sw, port}] = true
 	cl.Net.SetLinkState(sw, port, false)
-	for _, th := range cl.Themis {
-		th.SetDisabled(true)
+	for _, id := range cl.torIDs {
+		cl.Themis[id].SetDisabled(true)
 	}
 }
 
@@ -338,8 +344,8 @@ func (cl *Cluster) RepairLink(sw, port int) {
 	if len(cl.failedLinks) > 0 {
 		return
 	}
-	for _, th := range cl.Themis {
-		th.SetDisabled(false)
+	for _, id := range cl.torIDs {
+		cl.Themis[id].SetDisabled(false)
 	}
 }
 
@@ -359,7 +365,7 @@ func (cl *Cluster) RebootToR(sw int) {
 // AggregateSenderStats sums sender-side stats over all connections.
 func (cl *Cluster) AggregateSenderStats() rnic.SenderStats {
 	var agg rnic.SenderStats
-	for _, cn := range cl.conns {
+	for _, cn := range cl.connList {
 		st := cn.Sender.Stats()
 		agg.DataPackets += st.DataPackets
 		agg.Retransmits += st.Retransmits
@@ -377,8 +383,8 @@ func (cl *Cluster) AggregateSenderStats() rnic.SenderStats {
 // ThemisStats sums middleware stats over all ToRs.
 func (cl *Cluster) ThemisStats() core.Stats {
 	var agg core.Stats
-	for _, th := range cl.Themis {
-		st := th.Stats()
+	for _, id := range cl.torIDs {
+		st := cl.Themis[id].Stats()
 		agg.Sprayed += st.Sprayed
 		agg.NacksSeen += st.NacksSeen
 		agg.NacksForwarded += st.NacksForwarded
@@ -426,7 +432,7 @@ func (cn *Conn) NotifyRecv(threshold int64, fn func()) {
 // RecvBytes returns the in-order bytes delivered so far.
 func (cn *Conn) RecvBytes() int64 { return cn.recvBytes }
 
-func (cn *Conn) onDeliver(_ sim.Time, _ uint32, payload int) {
+func (cn *Conn) onDeliver(_ sim.Time, _ packet.PSN, payload int) {
 	cn.recvBytes += int64(payload)
 	for len(cn.notifies) > 0 && cn.notifies[0].threshold <= cn.recvBytes {
 		fn := cn.notifies[0].fn

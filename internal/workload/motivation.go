@@ -135,7 +135,7 @@ func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
 		cn := cl.Conn(f[0], f[1])
 		conns[i] = cn
 		if i == 0 { // the observed flow: node 0 -> node 2
-			cn.Sender.OnSend = func(t sim.Time, _ uint32, _ int, retrans bool) {
+			cn.Sender.OnSend = func(t sim.Time, _ packet.PSN, _ int, retrans bool) {
 				r := 0.0
 				if retrans {
 					r = 1
