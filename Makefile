@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench
+.PHONY: build test vet lint race verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,10 @@ verify: build vet lint test race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-smoke is the CI-sized sweep: a 2-seed miniature grid through the
+# parallel experiment runner, emitting the BENCH_smoke.json artifact. Gated
+# by themis-lint so a lint regression fails before any simulation time is
+# spent.
+bench-smoke: lint
+	$(GO) run ./cmd/themis-sim sweep -grid smoke -seeds 2 -parallel 2 -json BENCH_smoke.json

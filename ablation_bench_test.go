@@ -1,5 +1,6 @@
 // Ablation and extension benchmarks for the design choices DESIGN.md calls
-// out. These use a reduced 4x4x4 cluster (100 Gbps) so each runs in seconds.
+// out, expressed as declarative scenario grids driven through internal/exp.
+// These use a reduced 4x4x4 cluster (100 Gbps) so each runs in seconds.
 package themis_test
 
 import (
@@ -7,135 +8,85 @@ import (
 	"testing"
 
 	"themis"
-	"themis/internal/collective"
 	"themis/internal/core"
+	"themis/internal/exp"
 	"themis/internal/packet"
+	"themis/internal/rnic"
 	"themis/internal/sim"
 	"themis/internal/workload"
 )
 
-func smallCell(lb themis.LBMode) themis.CollectiveConfig {
-	return themis.CollectiveConfig{
-		Seed:         7,
-		Pattern:      collective.RingAllreduce,
-		MessageBytes: 1 << 20,
-		Leaves:       4,
-		Spines:       4,
-		HostsPerLeaf: 4,
-		Bandwidth:    100e9,
-		LB:           lb,
-	}
-}
-
 // BenchmarkAblation_NoCompensation isolates §3.4: with NACK compensation
 // disabled, blocked-but-real losses are only repaired by the sender's RTO.
-// Measured under injected loss via a lossy cluster.
+// Measured under injected loss (every 500th data packet dropped).
 func BenchmarkAblation_NoCompensation(b *testing.B) {
-	run := func(disable bool) (timeouts uint64, cct sim.Time) {
-		cl, err := buildLossyCluster(disable)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var end sim.Time
-		done := 0
-		for i := 0; i < 2; i++ {
-			cn := cl.Conn(packet.NodeID(i), packet.NodeID(2+i))
-			cn.Send(2<<20, func() {
-				done++
-				end = cl.Engine.Now()
-			})
-		}
-		cl.Run(10 * sim.Second)
-		cl.Engine.RunAll()
-		if done != 2 {
-			b.Fatal("lossy run incomplete")
-		}
-		return cl.AggregateSenderStats().Timeouts, end
-	}
+	grid := exp.LossRecoveryGrid(7) // [compensation on, compensation off]
 	for i := 0; i < b.N; i++ {
-		toWith, cctWith := run(false)
-		toWithout, cctWithout := run(true)
+		trials := mustTrials(b, benchRunner().Run(grid))
+		on, off := trials[0], trials[1]
 		if i == 0 {
 			fmt.Printf("\n# Ablation §3.4: NACK compensation under real loss\n")
-			fmt.Printf("compensation on : timeouts=%d cct=%.3fms\n", toWith, cctWith.Seconds()*1e3)
-			fmt.Printf("compensation off: timeouts=%d cct=%.3fms\n", toWithout, cctWithout.Seconds()*1e3)
+			fmt.Printf("compensation on : timeouts=%d cct=%.3fms\n", on.Sender.Timeouts, on.CCTMillis)
+			fmt.Printf("compensation off: timeouts=%d cct=%.3fms\n", off.Sender.Timeouts, off.CCTMillis)
 		}
-		b.ReportMetric(float64(toWithout), "timeouts-off")
-		b.ReportMetric(float64(toWith), "timeouts-on")
+		b.ReportMetric(float64(off.Sender.Timeouts), "timeouts-off")
+		b.ReportMetric(float64(on.Sender.Timeouts), "timeouts-on")
 	}
 }
 
 // BenchmarkAblation_GBNSpray shows the previous-generation (CX-4/5) RNIC
 // behaviour the paper's §1 describes: Go-Back-N under spraying collapses.
 func BenchmarkAblation_GBNSpray(b *testing.B) {
+	sr := exp.AblationCell(7, themis.RandomSpray)
+	sr.Name = "gbn-spray/nic-sr"
+	sr.MessageBytes = 4 << 20
+	gbn := sr
+	gbn.Name = "gbn-spray/gbn"
+	gbn.Transport = rnic.GoBackN
+	grid := []exp.Scenario{sr, gbn}
 	for i := 0; i < b.N; i++ {
-		scfg := smallCell(themis.RandomSpray)
-		scfg.MessageBytes = 4 << 20
-		sr, err := themis.RunCollective(scfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		gcfg := scfg
-		gcfg.Transport = themis.GoBackN
-		gbn, err := themis.RunCollective(gcfg)
-		if err != nil {
-			b.Fatal(err)
-		}
+		trials := mustTrials(b, benchRunner().Run(grid))
 		if i == 0 {
 			fmt.Printf("\n# Ablation §1: NIC-SR vs Go-Back-N under random packet spraying (allreduce, ms)\n")
 			fmt.Printf("nic-sr %.3f (retrans ratio %.4f)\ngbn    %.3f (retrans ratio %.4f)\n",
-				sr.TailCCT.Seconds()*1e3, sr.RetransRatio(),
-				gbn.TailCCT.Seconds()*1e3, gbn.RetransRatio())
+				trials[0].CCTMillis, trials[0].RetransRatio,
+				trials[1].CCTMillis, trials[1].RetransRatio)
 		}
-		b.ReportMetric(gbn.TailCCT.Seconds()*1e3/(sr.TailCCT.Seconds()*1e3), "gbn/sr")
+		b.ReportMetric(trials[1].CCTMillis/trials[0].CCTMillis, "gbn/sr")
 	}
 }
 
 // BenchmarkAblation_Flowlet shows §2.3: RNIC hardware pacing leaves no
 // flowlet gaps, so flowlet switching degenerates to flow-level balancing.
 func BenchmarkAblation_Flowlet(b *testing.B) {
+	grid := []exp.Scenario{
+		exp.AblationCell(7, themis.Flowlet),
+		exp.AblationCell(7, themis.ECMP),
+		exp.AblationCell(7, themis.Themis),
+	}
 	for i := 0; i < b.N; i++ {
-		fl, err := themis.RunCollective(smallCell(themis.Flowlet))
-		if err != nil {
-			b.Fatal(err)
-		}
-		ec, err := themis.RunCollective(smallCell(themis.ECMP))
-		if err != nil {
-			b.Fatal(err)
-		}
-		th, err := themis.RunCollective(smallCell(themis.Themis))
-		if err != nil {
-			b.Fatal(err)
-		}
+		trials := mustTrials(b, benchRunner().Run(grid))
 		if i == 0 {
 			fmt.Printf("\n# Ablation §2.3: flowlet vs ECMP vs Themis (allreduce tail CCT, ms)\n")
 			fmt.Printf("flowlet %.3f\necmp    %.3f\nthemis  %.3f\n",
-				fl.TailCCT.Seconds()*1e3, ec.TailCCT.Seconds()*1e3, th.TailCCT.Seconds()*1e3)
+				trials[0].CCTMillis, trials[1].CCTMillis, trials[2].CCTMillis)
 		}
-		b.ReportMetric(fl.TailCCT.Seconds()*1e3, "ms-flowlet")
+		b.ReportMetric(trials[0].CCTMillis, "ms-flowlet")
 	}
 }
 
 // BenchmarkAblation_QueueFactor sweeps §4's F: an undersized PSN ring evicts
 // tPSNs before their NACK returns, forcing conservative forwarding.
 func BenchmarkAblation_QueueFactor(b *testing.B) {
+	grid := exp.QueueFactorGrid(7, []float64{0.05, 0.2, 0.5, 1.5, 3.0})
 	for i := 0; i < b.N; i++ {
+		trials := mustTrials(b, benchRunner().Run(grid))
 		if i == 0 {
 			fmt.Printf("\n# Ablation §4: PSN ring capacity factor F (allreduce)\n")
 			fmt.Printf("%-6s %12s %12s %12s\n", "F", "cct_ms", "blocked", "scanMisses")
-		}
-		for _, f := range []float64{0.05, 0.2, 0.5, 1.5, 3.0} {
-			cfg := smallCell(themis.Themis)
-			cfg.MessageBytes = 4 << 20
-			cfg.Spines = 2 // oversubscribed: deeper in-flight windows
-			cfg.ThemisCfg = core.Config{QueueFactor: f}
-			res, err := themis.RunCollective(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if i == 0 {
-				fmt.Printf("%-6.2f %12.3f %12d %12d\n", f,
-					res.TailCCT.Seconds()*1e3, res.Middleware.NacksBlocked, res.Middleware.ScanMisses)
+			for j, t := range trials {
+				fmt.Printf("%-6.2f %12.3f %12d %12d\n", grid[j].Themis.QueueFactor,
+					t.CCTMillis, t.Middleware.NacksBlocked, t.Middleware.ScanMisses)
 			}
 		}
 	}
@@ -144,36 +95,14 @@ func BenchmarkAblation_QueueFactor(b *testing.B) {
 // BenchmarkExt_LinkFailure exercises the §6 failure response: a ToR with a
 // failed uplink reverts to ECMP and the collective still completes.
 func BenchmarkExt_LinkFailure(b *testing.B) {
+	grid := []exp.Scenario{exp.LinkFailureScenario(7)}
 	for i := 0; i < b.N; i++ {
-		cl, err := workload.BuildCluster(workload.ClusterConfig{
-			Seed: 7, Leaves: 4, Spines: 4, HostsPerLeaf: 4, Bandwidth: 100e9,
-			LB:        workload.Themis,
-			ThemisCfg: core.Config{FallbackOnFailure: true},
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		hosts := workload.GroupHosts(4, 4, 0)
-		var end sim.Time
-		done := false
-		collective.RunRingAllreduce(cl.Mesh(hosts), len(hosts), 1<<20, func() {
-			done = true
-			end = cl.Engine.Now()
-		})
-		// Fail one of leaf0's uplinks shortly after start; the monitoring
-		// plane disables Themis everywhere and routing reconverges.
-		cl.Engine.At(sim.Time(20*sim.Microsecond), func() { cl.FailLink(0, 4) })
-		cl.Run(10 * sim.Second)
-		cl.Engine.RunAll()
-		if !done {
-			b.Fatal("collective incomplete after link failure")
-		}
+		t := mustTrials(b, benchRunner().Run(grid))[0]
 		if i == 0 {
-			st := cl.ThemisStats()
 			fmt.Printf("\n# Extension §6: link failure mid-collective (Themis -> ECMP fallback)\n")
-			fmt.Printf("cct=%.3fms bypassed=%d sprayed=%d\n", end.Seconds()*1e3, st.Bypassed, st.Sprayed)
+			fmt.Printf("cct=%.3fms bypassed=%d sprayed=%d\n", t.CCTMillis, t.Middleware.Bypassed, t.Middleware.Sprayed)
 		}
-		b.ReportMetric(end.Seconds()*1e3, "ms")
+		b.ReportMetric(t.CCTMillis, "ms")
 	}
 }
 
@@ -183,87 +112,48 @@ func BenchmarkExt_LinkFailure(b *testing.B) {
 // cluster, asserting the graceful-degradation invariants on every run.
 func BenchmarkExt_Chaos(b *testing.B) {
 	const seeds = 8
+	grid := exp.ChaosGrid(1, seeds)
 	for i := 0; i < b.N; i++ {
-		results, err := themis.ChaosSoak(1, seeds, themis.ChaosOptions{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		var end sim.Time
+		trials := mustTrials(b, benchRunner().Run(grid))
+		var worst float64
 		var retrans, timeouts uint64
-		for _, res := range results {
-			if len(res.Violations) != 0 {
-				b.Fatalf("%v: %v", res.Scenario, res.Violations)
+		for _, t := range trials {
+			if len(t.Violations) != 0 {
+				b.Fatalf("%s: %v", t.Name, t.Violations)
 			}
-			if res.End > end {
-				end = res.End
+			if t.CCTMillis > worst {
+				worst = t.CCTMillis
 			}
-			retrans += res.Sender.Retransmits
-			timeouts += res.Sender.Timeouts
+			retrans += t.Sender.Retransmits
+			timeouts += t.Sender.Timeouts
 		}
 		if i == 0 {
 			fmt.Printf("\n# Chaos soak: %d seeded fault scenarios, invariants audited\n", seeds)
-			fmt.Printf("worst-case end=%.3fms retransmits=%d timeouts=%d\n",
-				end.Seconds()*1e3, retrans, timeouts)
+			fmt.Printf("worst-case end=%.3fms retransmits=%d timeouts=%d\n", worst, retrans, timeouts)
 		}
-		b.ReportMetric(end.Seconds()*1e3, "worst-ms")
+		b.ReportMetric(worst, "worst-ms")
 	}
 }
 
 // BenchmarkExt_RandomLoss measures recovery with random corruption loss:
 // valid NACKs must still pass Themis-D and repair promptly.
 func BenchmarkExt_RandomLoss(b *testing.B) {
+	grid := exp.LossRecoveryGrid(7)[:1] // the compensation-on arm
 	for i := 0; i < b.N; i++ {
-		cl, err := buildLossyCluster(false)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var end sim.Time
-		done := 0
-		for j := 0; j < 2; j++ {
-			cn := cl.Conn(packet.NodeID(j), packet.NodeID(2+j))
-			cn.Send(2<<20, func() {
-				done++
-				end = cl.Engine.Now()
-			})
-		}
-		cl.Run(10 * sim.Second)
-		cl.Engine.RunAll()
-		if done != 2 {
-			b.Fatal("lossy run incomplete")
-		}
+		t := mustTrials(b, benchRunner().Run(grid))[0]
 		if i == 0 {
-			agg := cl.AggregateSenderStats()
-			st := cl.ThemisStats()
 			fmt.Printf("\n# Extension: 1/500 packet loss under Themis spraying\n")
 			fmt.Printf("cct=%.3fms retrans=%d timeouts=%d forwarded=%d compensated=%d\n",
-				end.Seconds()*1e3, agg.Retransmits, agg.Timeouts, st.NacksForwarded, st.Compensations)
+				t.CCTMillis, t.Sender.Retransmits, t.Sender.Timeouts,
+				t.Middleware.NacksForwarded, t.Middleware.Compensations)
 		}
-		b.ReportMetric(end.Seconds()*1e3, "ms")
+		b.ReportMetric(t.CCTMillis, "ms")
 	}
-}
-
-// buildLossyCluster wires a 2x4x2 Themis cluster whose fabric drops every
-// 500th data packet at the leaves.
-func buildLossyCluster(disableComp bool) (*workload.Cluster, error) {
-	count := 0
-	cl, err := workload.BuildCluster(workload.ClusterConfig{
-		Seed: 7, Leaves: 2, Spines: 4, HostsPerLeaf: 2, Bandwidth: 100e9,
-		LB:        workload.Themis,
-		RTO:       500 * sim.Microsecond,
-		ThemisCfg: core.Config{DisableCompensation: disableComp},
-	})
-	if err != nil {
-		return nil, err
-	}
-	cl.Net.SetLossFunc(func(p *packet.Packet, sw, port int) bool {
-		count++
-		return count%500 == 0
-	})
-	return cl, nil
 }
 
 // BenchmarkPathMapConstruction measures the offline §3.2 PathMap probe on a
-// k=8 fat-tree (16 cross-pod paths).
+// k=8 fat-tree (16 cross-pod paths). A micro-benchmark of the construction
+// algorithm itself, not an experiment — it stays off the harness.
 func BenchmarkPathMapConstruction(b *testing.B) {
 	tp, err := themis.BuildCluster(themis.ClusterConfig{Seed: 1, FatTreeK: 8, Bandwidth: 100e9})
 	if err != nil {
@@ -282,26 +172,15 @@ func BenchmarkPathMapConstruction(b *testing.B) {
 // each flow to k of the N equal-cost paths. k=1 degenerates to ECMP-like
 // single-path; k=N is full spraying.
 func BenchmarkExt_PathSubset(b *testing.B) {
+	grid := exp.PathSubsetGrid(7, []int{1, 2, 4, 8, 16})
 	for i := 0; i < b.N; i++ {
+		trials := mustTrials(b, benchRunner().Run(grid))
 		if i == 0 {
 			fmt.Printf("\n# Extension §6: spray width k of N=16 paths (allreduce tail CCT, ms)\n")
 			fmt.Printf("%-6s %12s %12s\n", "k", "cct_ms", "blocked")
-		}
-		for _, k := range []int{1, 2, 4, 8, 16} {
-			cfg := themis.CollectiveConfig{
-				Seed:         7,
-				Pattern:      collective.RingAllreduce,
-				MessageBytes: 2 << 20,
-				LB:           themis.Themis,
-				ThemisCfg:    core.Config{PathSubset: k},
-			}
-			res, err := themis.RunCollective(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if i == 0 {
-				fmt.Printf("%-6d %12.3f %12d\n", k,
-					res.TailCCT.Seconds()*1e3, res.Middleware.NacksBlocked)
+			for j, t := range trials {
+				fmt.Printf("%-6d %12.3f %12d\n", grid[j].Themis.PathSubset,
+					t.CCTMillis, t.Middleware.NacksBlocked)
 			}
 		}
 	}
@@ -312,41 +191,31 @@ func BenchmarkExt_PathSubset(b *testing.B) {
 // to throttle senders; during that dead time the burst overflows a shallow
 // buffer unless PFC pauses hop-by-hop.
 func BenchmarkExt_PFC(b *testing.B) {
-	run := func(disablePFC bool) (ms float64, drops, retrans uint64) {
-		cl, err := workload.BuildCluster(workload.ClusterConfig{
-			Seed: 7, Leaves: 16, Spines: 16, HostsPerLeaf: 1, Bandwidth: 100e9,
-			LinkDelay:   5 * sim.Microsecond, // long feedback loop: ECN reacts late
-			LB:          workload.Themis,
-			BufferBytes: 4 << 20, // PFC headroom fits; the pre-CNP burst does not
-			DisablePFC:  disablePFC,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		done := 0
-		var end sim.Time
-		for h := 1; h < 16; h++ {
-			cl.Conn(packet.NodeID(h), 0).Send(2<<20, func() {
-				done++
-				end = cl.Engine.Now()
-			})
-		}
-		cl.Run(10 * sim.Second)
-		cl.Engine.RunAll()
-		if done != 15 {
-			b.Fatal("incast incomplete")
-		}
-		agg := cl.AggregateSenderStats()
-		return end.Seconds() * 1e3, cl.Net.Counters().DataDrops, agg.Retransmits
+	cell := exp.Scenario{
+		Name:         "pfc/on",
+		Workload:     exp.Incast,
+		Seed:         7,
+		Senders:      15,
+		MessageBytes: 2 << 20,
+		Bandwidth:    100e9,
+		LinkDelay:    5 * sim.Microsecond, // long feedback loop: ECN reacts late
+		BufferBytes:  4 << 20,             // PFC headroom fits; the pre-CNP burst does not
+		LB:           workload.Themis,
 	}
+	lossy := cell
+	lossy.Name = "pfc/off"
+	lossy.DisablePFC = true
+	grid := []exp.Scenario{cell, lossy}
 	for i := 0; i < b.N; i++ {
-		lossyMs, lossyDrops, lossyRtx := run(true)
-		losslessMs, losslessDrops, losslessRtx := run(false)
+		trials := mustTrials(b, benchRunner().Run(grid))
+		lossless, lossyT := trials[0], trials[1]
 		if i == 0 {
 			fmt.Printf("\n# Extension: PFC (lossless) vs lossy fabric under 15:1 incast\n")
-			fmt.Printf("pfc on : cct=%.3fms drops=%d retransmits=%d\n", losslessMs, losslessDrops, losslessRtx)
-			fmt.Printf("pfc off: cct=%.3fms drops=%d retransmits=%d\n", lossyMs, lossyDrops, lossyRtx)
+			fmt.Printf("pfc on : cct=%.3fms drops=%d retransmits=%d\n",
+				lossless.CCTMillis, lossless.Net.DataDrops, lossless.Sender.Retransmits)
+			fmt.Printf("pfc off: cct=%.3fms drops=%d retransmits=%d\n",
+				lossyT.CCTMillis, lossyT.Net.DataDrops, lossyT.Sender.Retransmits)
 		}
-		b.ReportMetric(lossyMs/losslessMs, "lossy/lossless")
+		b.ReportMetric(lossyT.CCTMillis/lossless.CCTMillis, "lossy/lossless")
 	}
 }

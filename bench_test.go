@@ -1,7 +1,9 @@
 // Benchmarks regenerating every table and figure of the paper. Each
-// benchmark runs the corresponding experiment and prints the same rows or
-// series the paper reports; `go test -bench=. -benchmem` therefore doubles
-// as the reproduction harness (see EXPERIMENTS.md for recorded outputs).
+// benchmark builds the corresponding scenario grid and drives it through the
+// experiment harness (internal/exp); `go test -bench=. -benchmem` therefore
+// doubles as the reproduction harness (see EXPERIMENTS.md for recorded
+// outputs). The Fig. 1b/1c time series are emitted by
+// `themis-sim motivation -series`; the benchmarks report the scalar averages.
 //
 // Scale: by default messages are scaled down from the paper (10 MB instead
 // of 100 MB for Fig. 1, 3 MB instead of 300 MB for Fig. 5) so the whole
@@ -11,9 +13,12 @@ package themis_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"themis"
+	"themis/internal/exp"
+	"themis/internal/rnic"
 )
 
 func fullScale() bool { return os.Getenv("THEMIS_FULL") == "1" }
@@ -38,39 +43,47 @@ func fig5Bytes(pattern themis.Pattern) int64 {
 	return 3 << 20
 }
 
-// BenchmarkFig1b_RetransRatio regenerates Fig. 1b: the retransmission ratio
-// over time of flow 0→2 under random packet spraying + NIC-SR, and its
-// average (paper: ≈ 0.16 average; ours is lower but decisively non-zero —
-// see EXPERIMENTS.md).
+// benchRunner is the worker pool every benchmark sweep shares: one worker
+// per core, since each trial owns a whole engine.
+func benchRunner() exp.Runner { return exp.Runner{Parallel: runtime.GOMAXPROCS(0)} }
+
+// mustTrials fails the benchmark on the first errored trial.
+func mustTrials(b *testing.B, trials []exp.Trial) []exp.Trial {
+	b.Helper()
+	for _, t := range trials {
+		if t.Err != "" {
+			b.Fatalf("%s: %s", t.Name, t.Err)
+		}
+	}
+	return trials
+}
+
+// BenchmarkFig1b_RetransRatio regenerates Fig. 1b: the average retransmission
+// ratio under random packet spraying + NIC-SR (paper: ≈ 0.16 average; ours is
+// lower but decisively non-zero — see EXPERIMENTS.md).
 func BenchmarkFig1b_RetransRatio(b *testing.B) {
+	grid := []exp.Scenario{exp.Fig1Scenario(1, fig1Bytes(), rnic.SelectiveRepeat)}
 	for i := 0; i < b.N; i++ {
-		res, err := themis.RunMotivation(themis.MotivationConfig{Seed: 1, MessageBytes: fig1Bytes()})
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := mustTrials(b, benchRunner().Run(grid))[0]
 		if i == 0 {
-			fmt.Printf("\n# Fig 1b: retransmission ratio over time (flow 0->2), NIC-SR + random spraying\n")
-			fmt.Print(sampleSeries(res.RetransRatio.Table(), 24))
-			fmt.Printf("# average retransmission ratio (all flows): %.4f\n", res.AvgRetransRatio)
+			fmt.Printf("\n# Fig 1b: retransmission ratio, NIC-SR + random spraying (series: themis-sim motivation -series)\n")
+			fmt.Printf("# average retransmission ratio (all flows): %.4f\n", t.RetransRatio)
 		}
-		b.ReportMetric(res.AvgRetransRatio, "retrans/pkt")
+		b.ReportMetric(t.RetransRatio, "retrans/pkt")
 	}
 }
 
-// BenchmarkFig1c_SendRate regenerates Fig. 1c: the sending rate over time of
+// BenchmarkFig1c_SendRate regenerates Fig. 1c: the average sending rate of
 // flow 0→2 (paper: NACK-triggered drops, average ≈ 86 Gbps of 100 Gbps).
 func BenchmarkFig1c_SendRate(b *testing.B) {
+	grid := []exp.Scenario{exp.Fig1Scenario(1, fig1Bytes(), rnic.SelectiveRepeat)}
 	for i := 0; i < b.N; i++ {
-		res, err := themis.RunMotivation(themis.MotivationConfig{Seed: 1, MessageBytes: fig1Bytes()})
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := mustTrials(b, benchRunner().Run(grid))[0]
 		if i == 0 {
-			fmt.Printf("\n# Fig 1c: sending rate over time (flow 0->2), NIC-SR + random spraying\n")
-			fmt.Print(sampleSeries(res.RateGbps.Table(), 24))
-			fmt.Printf("# average rate: %.1f Gbps (line rate 100 Gbps)\n", res.AvgRateGbps)
+			fmt.Printf("\n# Fig 1c: sending rate (flow 0->2), NIC-SR + random spraying (series: themis-sim motivation -series)\n")
+			fmt.Printf("# average rate: %.1f Gbps (line rate 100 Gbps)\n", t.AvgRateGbps)
 		}
-		b.ReportMetric(res.AvgRateGbps, "Gbps")
+		b.ReportMetric(t.AvgRateGbps, "Gbps")
 	}
 }
 
@@ -78,24 +91,17 @@ func BenchmarkFig1c_SendRate(b *testing.B) {
 // NIC-SR vs an ideal transport under random spraying (paper: 68.09 vs 95.43
 // Gbps, a 0.71 ratio).
 func BenchmarkFig1d_Throughput(b *testing.B) {
+	grid := exp.Fig1Grid(fig1Bytes(), 1) // [nic-sr, ideal]
 	for i := 0; i < b.N; i++ {
-		nicsr, err := themis.RunMotivation(themis.MotivationConfig{Seed: 1, MessageBytes: fig1Bytes()})
-		if err != nil {
-			b.Fatal(err)
-		}
-		ideal, err := themis.RunMotivation(themis.MotivationConfig{
-			Seed: 1, MessageBytes: fig1Bytes(), Transport: themis.Ideal,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
+		trials := mustTrials(b, benchRunner().Run(grid))
+		nicsr, ideal := trials[0], trials[1]
 		if i == 0 {
 			fmt.Printf("\n# Fig 1d: average throughput (Gbps), NIC-SR vs Ideal reliable transport\n")
 			fmt.Printf("nic-sr %.2f\nideal  %.2f\nratio  %.2f (paper: 68.09/95.43 = 0.71)\n",
-				nicsr.AvgThroughput, ideal.AvgThroughput, nicsr.AvgThroughput/ideal.AvgThroughput)
+				nicsr.GoodputGbps, ideal.GoodputGbps, nicsr.GoodputGbps/ideal.GoodputGbps)
 		}
-		b.ReportMetric(nicsr.AvgThroughput, "Gbps-nicsr")
-		b.ReportMetric(ideal.AvgThroughput, "Gbps-ideal")
+		b.ReportMetric(nicsr.GoodputGbps, "Gbps-nicsr")
+		b.ReportMetric(ideal.GoodputGbps, "Gbps-ideal")
 	}
 }
 
@@ -113,39 +119,16 @@ func BenchmarkTable1_MemoryModel(b *testing.B) {
 	b.ReportMetric(float64(total)/1024, "KB")
 }
 
-// fig5 sweeps the Fig. 5 matrix for one pattern and prints the paper's rows.
+// fig5 sweeps the Fig. 5 matrix for one pattern through the parallel runner
+// and prints the paper's rows.
 func fig5(b *testing.B, pattern themis.Pattern, label string) {
-	type cell struct {
-		setting themis.DCQCNSetting
-		arm     themis.LBMode
-		cct     float64 // milliseconds
-	}
+	grid := exp.Fig5Grid(1, fig5Bytes(pattern), pattern)
+	arms := themis.Fig5Arms()
 	for i := 0; i < b.N; i++ {
-		var cells []cell
+		trials := mustTrials(b, benchRunner().Run(grid))
 		minRed, maxRed := 1.0, 0.0
-		for _, s := range themis.PaperDCQCNSettings() {
-			var arCCT, themisCCT float64
-			for _, arm := range themis.Fig5Arms() {
-				res, err := themis.RunCollective(themis.CollectiveConfig{
-					Seed:         1,
-					Pattern:      pattern,
-					MessageBytes: fig5Bytes(pattern),
-					LB:           arm,
-					TI:           s.TI,
-					TD:           s.TD,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				ms := res.TailCCT.Seconds() * 1e3
-				cells = append(cells, cell{s, arm, ms})
-				switch arm {
-				case themis.Adaptive:
-					arCCT = ms
-				case themis.Themis:
-					themisCCT = ms
-				}
-			}
+		for s := 0; s < len(trials); s += len(arms) {
+			arCCT, themisCCT := trials[s+1].CCTMillis, trials[s+2].CCTMillis
 			red := (arCCT - themisCCT) / arCCT
 			if red < minRed {
 				minRed = red
@@ -157,12 +140,12 @@ func fig5(b *testing.B, pattern themis.Pattern, label string) {
 		if i == 0 {
 			fmt.Printf("\n# Fig 5%s: %s tail completion time (ms), %d MB per group\n", label, pattern, fig5Bytes(pattern)>>20)
 			fmt.Printf("%-12s %10s %10s %10s\n", "(TI,TD) us", "ecmp", "adaptive", "themis")
-			for j := 0; j < len(cells); j += 3 {
-				s := cells[j].setting
+			for j, s := range themis.PaperDCQCNSettings() {
+				row := trials[j*len(arms) : (j+1)*len(arms)]
 				fmt.Printf("(%d,%d)%*s %10.3f %10.3f %10.3f\n",
 					int64(s.TI.Microseconds()), int64(s.TD.Microseconds()),
 					12-len(fmt.Sprintf("(%d,%d)", int64(s.TI.Microseconds()), int64(s.TD.Microseconds()))), "",
-					cells[j].cct, cells[j+1].cct, cells[j+2].cct)
+					row[0].CCTMillis, row[1].CCTMillis, row[2].CCTMillis)
 			}
 			fmt.Printf("# themis vs adaptive reduction: %.1f%% .. %.1f%%", minRed*100, maxRed*100)
 			if pattern == themis.Allreduce {
@@ -183,34 +166,3 @@ func BenchmarkFig5a_Allreduce(b *testing.B) { fig5(b, themis.Allreduce, "a") }
 // BenchmarkFig5b_Alltoall regenerates Fig. 5b: Alltoall tail CCT across
 // DCQCN (TI,TD) settings for ECMP / adaptive routing / Themis.
 func BenchmarkFig5b_Alltoall(b *testing.B) { fig5(b, themis.AllToAll, "b") }
-
-// sampleSeries thins a long "# header\nt v\n..." table to at most n rows.
-func sampleSeries(table string, n int) string {
-	lines := splitLines(table)
-	if len(lines) <= n+1 {
-		return table
-	}
-	out := lines[0] + "\n"
-	step := (len(lines) - 1 + n - 1) / n
-	for i := 1; i < len(lines); i += step {
-		out += lines[i] + "\n"
-	}
-	return out
-}
-
-func splitLines(s string) []string {
-	var lines []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			if i > start {
-				lines = append(lines, s[start:i])
-			}
-			start = i + 1
-		}
-	}
-	if start < len(s) {
-		lines = append(lines, s[start:])
-	}
-	return lines
-}

@@ -8,8 +8,17 @@
 //	    [-bytes N] [-ti us] [-td us] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-seed S]
 //	    One Fig. 5 cell: tail completion time of the slowest group.
 //
-//	themis-sim sweep [-pattern allreduce|alltoall] [-bytes N] [-seed S]
-//	    The full Fig. 5 matrix: all five DCQCN settings × {ECMP, AR, Themis}.
+//	themis-sim run [-workload motivation|collective|incast|chaos] [-lb ...] [-transport ...]
+//	    [-pattern ...] [-bytes N] [-seed S] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-json out.json]
+//	    One declarative scenario through the experiment harness; prints the
+//	    trial record and optionally writes it as a JSON report.
+//
+//	themis-sim sweep [-grid fig5|fig1|smoke|chaos|queue-factor|path-subset|loss-recovery]
+//	    [-pattern allreduce|alltoall] [-bytes N] [-seed S] [-seeds N] [-parallel N] [-json out.json]
+//	    A scenario grid through the parallel runner (default: the full Fig. 5
+//	    matrix, all five DCQCN settings × {ECMP, AR, Themis}). -parallel N
+//	    runs N trials concurrently — per-seed results are bit-identical to a
+//	    sequential run. -json writes the aggregated report artifact.
 //
 //	themis-sim memory [-paths N] [-bw gbps] [-rtt us] [-nics N] [-qps N] [-mtu N] [-factor F]
 //	    Table 1 / §4: the Themis memory-overhead model.
@@ -30,8 +39,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"themis"
+	"themis/internal/exp"
 	"themis/internal/memmodel"
 	"themis/internal/packet"
 	"themis/internal/rnic"
@@ -51,6 +62,8 @@ func main() {
 		err = runMotivation(os.Args[2:])
 	case "collective":
 		err = runCollective(os.Args[2:])
+	case "run":
+		err = runScenario(os.Args[2:])
 	case "sweep":
 		err = runSweep(os.Args[2:])
 	case "memory":
@@ -73,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: themis-sim <motivation|collective|sweep|memory|trace|chaos> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: themis-sim <motivation|collective|run|sweep|memory|trace|chaos> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'themis-sim <command> -h' for command flags")
 }
 
@@ -207,39 +220,184 @@ func runCollective(args []string) error {
 	return nil
 }
 
-func runSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+func parseWorkload(s string) (exp.Workload, error) {
+	switch exp.Workload(s) {
+	case exp.Motivation, exp.Collective, exp.Incast, exp.Chaos:
+		return exp.Workload(s), nil
+	default:
+		return "", fmt.Errorf("unknown workload %q (motivation|collective|incast|chaos)", s)
+	}
+}
+
+// writeReport serializes trials to path as a BENCH-style report artifact.
+func writeReport(name, path string, trials []exp.Trial) error {
+	b, err := exp.NewReport(name, trials).JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d trials)\n", path, len(trials))
+	return nil
+}
+
+func printTrial(t exp.Trial) {
+	if t.Err != "" {
+		fmt.Printf("%-40s ERROR: %s\n", t.Name, t.Err)
+		return
+	}
+	fmt.Printf("%-40s cct=%10.3fms retrans=%.4f timeouts=%d events=%d\n",
+		t.Name, t.CCTMillis, t.RetransRatio, t.Sender.Timeouts, t.Engine.EventsExecuted)
+	for _, v := range t.Violations {
+		fmt.Printf("  VIOLATION: %s\n", v)
+	}
+}
+
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	wl := fs.String("workload", "collective", "workload: motivation|collective|incast|chaos")
 	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall")
-	bytes := fs.Int64("bytes", 300<<20, "collective size per group")
+	lbs := fs.String("lb", "themis", "load balancing arm")
+	transport := fs.String("transport", "nic-sr", "reliable transport: nic-sr|ideal|gbn")
+	bytes := fs.Int64("bytes", 0, "message/collective size (0 = workload default)")
 	seed := fs.Int64("seed", 1, "random seed")
+	leaves := fs.Int("leaves", 0, "leaf switches (0 = workload default)")
+	spines := fs.Int("spines", 0, "spine switches")
+	hosts := fs.Int("hosts", 0, "hosts per leaf")
+	bw := fs.Float64("bw", 0, "link bandwidth, Gbps")
+	jsonOut := fs.String("json", "", "write the trial as a JSON report to this path")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := parseWorkload(*wl)
+	if err != nil {
 		return err
 	}
 	p, err := parsePattern(*pattern)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Fig. 5 sweep: %s, %d MB per group, tail CCT in ms\n", p, *bytes>>20)
-	fmt.Printf("%-12s %10s %10s %10s %12s\n", "(TI,TD) us", "ecmp", "adaptive", "themis", "themis-vs-AR")
-	for _, s := range themis.PaperDCQCNSettings() {
-		row := map[themis.LBMode]float64{}
-		for _, arm := range themis.Fig5Arms() {
-			res, err := themis.RunCollective(themis.CollectiveConfig{
-				Seed: *seed, Pattern: p, MessageBytes: *bytes,
-				LB: arm, TI: s.TI, TD: s.TD,
-			})
-			if err != nil {
-				return err
-			}
-			row[arm] = res.TailCCT.Seconds() * 1e3
+	lbMode, err := parseLB(*lbs)
+	if err != nil {
+		return err
+	}
+	tr, err := parseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	sc := exp.Scenario{
+		Workload: w, Seed: *seed,
+		Pattern: p, LB: lbMode, Transport: tr,
+		MessageBytes: *bytes,
+		Leaves:       *leaves, Spines: *spines, HostsPerLeaf: *hosts,
+		Bandwidth: int64(*bw * 1e9),
+	}
+	trial := exp.Run(sc)
+	printTrial(trial)
+	if trial.Err != "" {
+		return fmt.Errorf("scenario failed: %s", trial.Err)
+	}
+	if *jsonOut != "" {
+		return writeReport(trial.Name, *jsonOut, []exp.Trial{trial})
+	}
+	return nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	gridName := fs.String("grid", "fig5", "scenario grid: fig5|fig1|smoke|chaos|queue-factor|path-subset|loss-recovery")
+	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall (fig5)")
+	bytes := fs.Int64("bytes", 300<<20, "collective size per group (fig5) / message size (fig1)")
+	seed := fs.Int64("seed", 1, "random seed (first seed for multi-seed grids)")
+	seeds := fs.Int("seeds", 1, "seed count (fig1, smoke, chaos)")
+	parallel := fs.Int("parallel", 1, "worker pool size")
+	jsonOut := fs.String("json", "", "write the aggregated report JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed + int64(i)
+	}
+	var grid []exp.Scenario
+	switch *gridName {
+	case "fig5":
+		p, err := parsePattern(*pattern)
+		if err != nil {
+			return err
 		}
-		red := (row[themis.Adaptive] - row[themis.Themis]) / row[themis.Adaptive] * 100
+		grid = exp.Fig5Grid(*seed, *bytes, p)
+	case "fig1":
+		b := *bytes
+		if b == 300<<20 {
+			b = 100 << 20 // the motivation study's default message size
+		}
+		grid = exp.Fig1Grid(b, seedList...)
+	case "smoke":
+		grid = exp.SmokeGrid(seedList...)
+	case "chaos":
+		grid = exp.ChaosGrid(*seed, *seeds)
+	case "queue-factor":
+		grid = exp.QueueFactorGrid(*seed, []float64{0.05, 0.2, 0.5, 1.5, 3.0})
+	case "path-subset":
+		grid = exp.PathSubsetGrid(*seed, []int{1, 2, 4, 8, 16})
+	case "loss-recovery":
+		grid = exp.LossRecoveryGrid(*seed)
+	default:
+		return fmt.Errorf("unknown grid %q", *gridName)
+	}
+
+	start := time.Now()
+	trials := exp.Runner{Parallel: *parallel}.Run(grid)
+	elapsed := time.Since(start)
+
+	fmt.Printf("sweep %s: %d scenarios, parallel=%d, wall=%.2fs\n", *gridName, len(grid), *parallel, elapsed.Seconds())
+	if *gridName == "fig5" {
+		printFig5Table(trials)
+	} else {
+		for _, t := range trials {
+			printTrial(t)
+		}
+	}
+	failed := 0
+	for _, t := range trials {
+		if t.Err != "" {
+			failed++
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeReport(*gridName, *jsonOut, trials); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d scenarios failed", failed, len(trials))
+	}
+	return nil
+}
+
+// printFig5Table renders the Fig. 5 matrix from its trials (settings × arms,
+// in grid order).
+func printFig5Table(trials []exp.Trial) {
+	arms := themis.Fig5Arms()
+	fmt.Printf("%-12s %10s %10s %10s %12s\n", "(TI,TD) us", "ecmp", "adaptive", "themis", "themis-vs-AR")
+	for si, s := range themis.PaperDCQCNSettings() {
+		row := make([]float64, len(arms))
+		for ai := range arms {
+			t := trials[si*len(arms)+ai]
+			if t.Err != "" {
+				fmt.Printf("  %s: ERROR: %s\n", t.Name, t.Err)
+				return
+			}
+			row[ai] = t.CCTMillis
+		}
+		red := (row[1] - row[2]) / row[1] * 100
 		fmt.Printf("(%d,%d)%*s %10.3f %10.3f %10.3f %11.1f%%\n",
 			int64(s.TI.Microseconds()), int64(s.TD.Microseconds()),
 			12-len(fmt.Sprintf("(%d,%d)", int64(s.TI.Microseconds()), int64(s.TD.Microseconds()))), "",
-			row[themis.ECMP], row[themis.Adaptive], row[themis.Themis], red)
+			row[0], row[1], row[2], red)
 	}
-	return nil
 }
 
 func runChaos(args []string) error {

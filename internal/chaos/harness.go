@@ -57,7 +57,8 @@ type Result struct {
 	Sender     rnic.SenderStats
 	Middleware core.Stats
 	Net        fabric.Counters
-	Violations []string // empty = all invariants held
+	Engine     sim.Metrics // event-loop counter block for this run's engine
+	Violations []string    // empty = all invariants held
 }
 
 // BuildCluster assembles the hardened cluster the harness runs scenarios
@@ -117,6 +118,7 @@ func RunScenario(sc Scenario, opt Options) (*Result, error) {
 		Sender:     cl.AggregateSenderStats(),
 		Middleware: cl.ThemisStats(),
 		Net:        cl.Net.Counters(),
+		Engine:     cl.Engine.Metrics(),
 		Violations: CheckInvariants(cl, remaining),
 	}
 	return res, nil

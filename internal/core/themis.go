@@ -77,6 +77,9 @@ type Config struct {
 	Tracer *trace.Tracer
 	// Clock supplies timestamps for trace events (normally the sim.Engine).
 	Clock interface{ Now() sim.Time }
+	// Pool, if non-nil, supplies packets for compensation NACKs. Share it
+	// with fabric.Config.Pool. Nil allocates normally.
+	Pool *packet.Pool
 }
 
 // Stats counts Themis events on one ToR.
@@ -362,15 +365,15 @@ func (th *Themis) OnDeliverToHost(pkt *packet.Packet) []*packet.Packet {
 			fs.valid = false
 			th.stats.Compensations++
 			th.trace(trace.Compensate, pkt)
-			out = append(out, &packet.Packet{
-				Kind:  packet.Nack,
-				Src:   fs.dst,
-				Dst:   fs.src,
-				QP:    pkt.QP,
-				SPort: pkt.SPort,
-				DPort: 4791,
-				PSN:   fs.bepsn,
-			})
+			nack := th.cfg.Pool.Get()
+			nack.Kind = packet.Nack
+			nack.Src = fs.dst
+			nack.Dst = fs.src
+			nack.QP = pkt.QP
+			nack.SPort = pkt.SPort
+			nack.DPort = 4791
+			nack.PSN = fs.bepsn
+			out = append(out, nack)
 		}
 	}
 	fs.ring.Push(pkt.PSN.Trunc())

@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"themis/internal/collective"
+	"themis/internal/rnic"
+	"themis/internal/workload"
+)
+
+// testGrid exercises every workload family at miniature sizes.
+func testGrid() []Scenario {
+	grid := SmokeGrid(1, 2) // 2 collective cells + 1 chaos soak
+	grid = append(grid, Scenario{
+		Name:         "motivation-small",
+		Workload:     Motivation,
+		Seed:         3,
+		Transport:    rnic.SelectiveRepeat,
+		MessageBytes: 1 << 20,
+	})
+	grid = append(grid, Scenario{
+		Name:         "incast-small",
+		Workload:     Incast,
+		Seed:         4,
+		Senders:      4,
+		MessageBytes: 512 << 10,
+	})
+	return grid
+}
+
+// The tentpole's determinism guarantee: the same grid produces byte-identical
+// serialized reports at any parallelism level, because every trial owns its
+// own engine, pool and RNG and results land at their scenario's index. This
+// mirrors internal/chaos TestRunDeterminism one layer up.
+func TestRunnerParallelDeterminism(t *testing.T) {
+	grid := testGrid()
+	seq := NewReport("determinism", Runner{Parallel: 1}.Run(grid))
+	par := NewReport("determinism", Runner{Parallel: 8}.Run(grid))
+	a, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("parallel=1 and parallel=8 reports differ:\n--- seq ---\n%s\n--- par ---\n%s", a, b)
+	}
+	for i, tr := range seq.Trials {
+		if tr.Err != "" {
+			t.Fatalf("trial %d (%s) failed: %s", i, tr.Name, tr.Err)
+		}
+	}
+}
+
+func TestRunnerPreservesOrderAndReportsErrors(t *testing.T) {
+	grid := []Scenario{
+		{Name: "bad", Workload: Workload("nope"), Seed: 1},
+		SmokeGrid(5)[0],
+	}
+	trials := Runner{Parallel: 4}.Run(grid)
+	if len(trials) != 2 {
+		t.Fatalf("got %d trials", len(trials))
+	}
+	if trials[0].Name != "bad" || trials[1].Name != grid[1].Name {
+		t.Fatalf("order not preserved: %q, %q", trials[0].Name, trials[1].Name)
+	}
+	if !strings.Contains(trials[0].Err, "unknown workload") {
+		t.Fatalf("bad workload Err = %q", trials[0].Err)
+	}
+	if trials[1].Err != "" {
+		t.Fatalf("good trial failed: %s", trials[1].Err)
+	}
+	rep := NewReport("x", trials)
+	if rep.Aggregate.Errors != 1 {
+		t.Fatalf("Aggregate.Errors = %d, want 1", rep.Aggregate.Errors)
+	}
+	// The failed trial contributes nothing to the metric summaries.
+	if rep.Aggregate.CCTMillis.Count != 1 {
+		t.Fatalf("CCT summary count = %d, want 1", rep.Aggregate.CCTMillis.Count)
+	}
+}
+
+func TestTrialCarriesEngineMetrics(t *testing.T) {
+	tr := Run(SmokeGrid(1)[0])
+	if tr.Err != "" {
+		t.Fatal(tr.Err)
+	}
+	if tr.CCTMillis <= 0 {
+		t.Fatalf("CCT = %g", tr.CCTMillis)
+	}
+	if tr.Engine.EventsExecuted == 0 {
+		t.Fatal("engine metrics not captured")
+	}
+	// The free list must be doing its job on a real workload: reuses should
+	// dwarf fresh allocations.
+	if tr.Engine.EventReuses < tr.Engine.EventAllocs {
+		t.Fatalf("event reuses %d < allocs %d", tr.Engine.EventReuses, tr.Engine.EventAllocs)
+	}
+	if tr.Sender.DataPackets == 0 {
+		t.Fatal("sender counters not captured")
+	}
+}
+
+func TestLinkFailureScenarioCompletes(t *testing.T) {
+	tr := Run(LinkFailureScenario(7))
+	if tr.Err != "" {
+		t.Fatal(tr.Err)
+	}
+	if tr.Middleware.Bypassed == 0 {
+		t.Fatal("link failure never engaged the ECMP fallback (no bypassed packets)")
+	}
+}
+
+func TestLossRecoveryGridCompensationEffect(t *testing.T) {
+	trials := Runner{Parallel: 2}.Run(LossRecoveryGrid(7))
+	for _, tr := range trials {
+		if tr.Err != "" {
+			t.Fatalf("%s: %s", tr.Name, tr.Err)
+		}
+	}
+	// With compensation disabled, blocked-but-real losses must wait for the
+	// RTO: strictly more timeouts than the compensating arm.
+	if trials[1].Sender.Timeouts <= trials[0].Sender.Timeouts {
+		t.Fatalf("timeouts: comp=on %d, comp=off %d — compensation had no effect",
+			trials[0].Sender.Timeouts, trials[1].Sender.Timeouts)
+	}
+}
+
+func TestGridShapes(t *testing.T) {
+	if g := Fig5Grid(1, 3<<20, collective.RingAllreduce); len(g) != 15 {
+		t.Fatalf("Fig5Grid = %d cells, want 15", len(g))
+	}
+	if g := Fig1Grid(10<<20, 1, 2); len(g) != 4 {
+		t.Fatalf("Fig1Grid = %d cells, want 4", len(g))
+	}
+	if g := ChaosGrid(5, 3); len(g) != 3 || g[2].Seed != 7 {
+		t.Fatalf("ChaosGrid = %+v", g)
+	}
+	// Names must be unique within each grid — they key the artifact rows.
+	for _, grid := range [][]Scenario{
+		Fig5Grid(1, 3<<20, collective.AllToAll),
+		Fig1Grid(10<<20, 1),
+		QueueFactorGrid(7, []float64{0.05, 1.5}),
+		PathSubsetGrid(7, []int{1, 4, 16}),
+		LossRecoveryGrid(7),
+		SmokeGrid(1, 2),
+	} {
+		seen := map[string]bool{}
+		for _, sc := range grid {
+			if sc.Name == "" || seen[sc.Name] {
+				t.Fatalf("duplicate or empty scenario name %q", sc.Name)
+			}
+			seen[sc.Name] = true
+		}
+	}
+}
+
+func TestLabelDerivation(t *testing.T) {
+	sc := Scenario{Workload: Collective, Seed: 9, LB: workload.Themis, Pattern: collective.AllToAll}
+	if got := sc.Label(); !strings.Contains(got, "alltoall") || !strings.Contains(got, "seed9") {
+		t.Fatalf("Label = %q", got)
+	}
+	sc.Name = "explicit"
+	if sc.Label() != "explicit" {
+		t.Fatal("explicit name not honoured")
+	}
+}
+
+func TestReportWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	rep := NewReport("smoke", Runner{}.Run(SmokeGrid(1)[:1]))
+	path, err := rep.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_smoke.json" {
+		t.Fatalf("artifact name = %s", path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rep.JSON()
+	if !bytes.Equal(b, want) {
+		t.Fatal("file contents differ from JSON()")
+	}
+}

@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+
+	"themis/internal/collective"
+	"themis/internal/rnic"
+	"themis/internal/sim"
+	"themis/internal/workload"
+)
+
+// This file holds the scenario constructors for the paper's figures and the
+// repo's ablations — the declarative form of what the benchmark suites and
+// the CLI run. Each constructor returns a grid ready for Runner.Run.
+
+// Fig1Arms returns the motivation study's transport arms in paper order:
+// NIC-SR (the commodity transport, Fig. 1b/1c) and the Ideal oracle bound
+// (Fig. 1d).
+func Fig1Arms() []rnic.Transport {
+	return []rnic.Transport{rnic.SelectiveRepeat, rnic.Ideal}
+}
+
+// Fig1Scenario is one §2.2 motivation cell: random packet spraying over the
+// fixed 4×4×2 fabric with the given transport.
+func Fig1Scenario(seed, bytes int64, tr rnic.Transport) Scenario {
+	return Scenario{
+		Name:         fmt.Sprintf("fig1/%v/seed%d", tr, seed),
+		Workload:     Motivation,
+		Seed:         seed,
+		Transport:    tr,
+		MessageBytes: bytes,
+	}
+}
+
+// Fig1Grid returns the motivation grid: both transport arms for each seed.
+func Fig1Grid(bytes int64, seeds ...int64) []Scenario {
+	var grid []Scenario
+	for _, seed := range seeds {
+		for _, tr := range Fig1Arms() {
+			grid = append(grid, Fig1Scenario(seed, bytes, tr))
+		}
+	}
+	return grid
+}
+
+// Fig5Cell is one §5 evaluation cell: the given collective pattern under one
+// (TI, TD) DCQCN setting and one load-balancing arm.
+func Fig5Cell(seed, bytes int64, pattern collective.Pattern, set workload.DCQCNSetting, lb workload.LBMode) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("fig5/%v/ti%d-td%d/%v/seed%d",
+			pattern, int64(set.TI/sim.Microsecond), int64(set.TD/sim.Microsecond), lb, seed),
+		Workload:     Collective,
+		Seed:         seed,
+		Pattern:      pattern,
+		LB:           lb,
+		TI:           set.TI,
+		TD:           set.TD,
+		MessageBytes: bytes,
+	}
+}
+
+// Fig5Grid returns the full Fig. 5 matrix for one pattern: the five paper
+// DCQCN settings crossed with the three compared systems, in paper order.
+func Fig5Grid(seed, bytes int64, pattern collective.Pattern) []Scenario {
+	var grid []Scenario
+	for _, set := range workload.PaperDCQCNSettings() {
+		for _, lb := range workload.Fig5Arms() {
+			grid = append(grid, Fig5Cell(seed, bytes, pattern, set, lb))
+		}
+	}
+	return grid
+}
+
+// AblationCell is the small collective cell the ablation benchmarks share:
+// a 1 MB ring Allreduce on a 4×4×4 fabric at 100 Gbps.
+func AblationCell(seed int64, lb workload.LBMode) Scenario {
+	return Scenario{
+		Name:         fmt.Sprintf("ablation/%v/seed%d", lb, seed),
+		Workload:     Collective,
+		Seed:         seed,
+		Pattern:      collective.RingAllreduce,
+		LB:           lb,
+		MessageBytes: 1 << 20,
+		Leaves:       4,
+		Spines:       4,
+		HostsPerLeaf: 4,
+		Bandwidth:    100e9,
+	}
+}
+
+// QueueFactorGrid sweeps the Themis-D queue expansion factor F on an
+// oversubscribed fabric (two spines: deeper in-flight windows).
+func QueueFactorGrid(seed int64, factors []float64) []Scenario {
+	var grid []Scenario
+	for _, f := range factors {
+		sc := AblationCell(seed, workload.Themis)
+		sc.Name = fmt.Sprintf("queue-factor/f%g/seed%d", f, seed)
+		sc.MessageBytes = 4 << 20
+		sc.Spines = 2
+		sc.Themis.QueueFactor = f
+		grid = append(grid, sc)
+	}
+	return grid
+}
+
+// PathSubsetGrid sweeps the §6 path-subset restriction k over the default
+// 16-spine fabric.
+func PathSubsetGrid(seed int64, ks []int) []Scenario {
+	var grid []Scenario
+	for _, k := range ks {
+		sc := Scenario{
+			Name:         fmt.Sprintf("path-subset/k%d/seed%d", k, seed),
+			Workload:     Collective,
+			Seed:         seed,
+			Pattern:      collective.RingAllreduce,
+			LB:           workload.Themis,
+			MessageBytes: 2 << 20,
+		}
+		sc.Themis.PathSubset = k
+		grid = append(grid, sc)
+	}
+	return grid
+}
+
+// LossRecoveryGrid returns the §3.4 compensation ablation pair: a 2×4×2
+// Themis fabric dropping every 500th data packet, with NACK compensation on
+// and off. With compensation disabled, blocked-but-real losses wait for the
+// sender's RTO — the trial's Sender.Timeouts counter shows the difference.
+func LossRecoveryGrid(seed int64) []Scenario {
+	var grid []Scenario
+	for _, disable := range []bool{false, true} {
+		sc := Scenario{
+			Name:           fmt.Sprintf("loss-recovery/comp=%t/seed%d", !disable, seed),
+			Workload:       Collective,
+			Seed:           seed,
+			Pattern:        collective.RingAllreduce,
+			LB:             workload.Themis,
+			MessageBytes:   1 << 20,
+			Leaves:         2,
+			Spines:         4,
+			HostsPerLeaf:   2,
+			Bandwidth:      100e9,
+			RTO:            500 * sim.Microsecond,
+			DropEveryNData: 500,
+		}
+		sc.Themis.DisableCompensation = disable
+		grid = append(grid, sc)
+	}
+	return grid
+}
+
+// LinkFailureScenario is the §5.3 mid-run link failure: one collective group
+// on a 4×4×4 fabric, leaf 0's first uplink (port 4, after the 4 host ports)
+// going down at 20 µs with ECMP fallback armed.
+func LinkFailureScenario(seed int64) Scenario {
+	sc := AblationCell(seed, workload.Themis)
+	sc.Name = fmt.Sprintf("link-failure/seed%d", seed)
+	sc.Groups = 1
+	sc.Themis.FallbackOnFailure = true
+	sc.LinkFail = &workload.LinkFault{Switch: 0, Port: 4, At: 20 * sim.Microsecond}
+	return sc
+}
+
+// ChaosGrid returns fault-injection soak scenarios for seeds
+// [first, first+count).
+func ChaosGrid(first int64, count int) []Scenario {
+	grid := make([]Scenario, count)
+	for i := range grid {
+		grid[i] = Scenario{Workload: Chaos, Seed: first + int64(i)}
+		grid[i].Name = grid[i].Label()
+	}
+	return grid
+}
+
+// SmokeGrid is the miniature CI sweep: one fast collective cell per seed on a
+// 3×3×2 fabric plus one chaos soak seed — a few hundred milliseconds of wall
+// clock in total, enough to exercise every layer of the harness.
+func SmokeGrid(seeds ...int64) []Scenario {
+	var grid []Scenario
+	for _, seed := range seeds {
+		grid = append(grid, Scenario{
+			Name:         fmt.Sprintf("smoke/themis/seed%d", seed),
+			Workload:     Collective,
+			Seed:         seed,
+			Pattern:      collective.RingAllreduce,
+			LB:           workload.Themis,
+			MessageBytes: 256 << 10,
+			Leaves:       3,
+			Spines:       3,
+			HostsPerLeaf: 2,
+			Bandwidth:    100e9,
+		})
+	}
+	if len(seeds) > 0 {
+		grid = append(grid, ChaosGrid(seeds[0], 1)...)
+	}
+	return grid
+}

@@ -1,0 +1,49 @@
+package exp
+
+import "sync"
+
+// Runner executes a grid of scenarios across a worker pool. Each trial owns
+// its own engine, packet pool and RNG, so trials never share mutable state;
+// results land in the output slice at their scenario's index, making the
+// trial order — and therefore the serialized report — independent of the
+// worker count and of scheduling.
+type Runner struct {
+	// Parallel is the worker count; values < 1 mean 1 (sequential).
+	Parallel int
+}
+
+// Run executes every scenario and returns one trial per scenario, in input
+// order. Per-scenario failures are carried in Trial.Err.
+func (r Runner) Run(grid []Scenario) []Trial {
+	out := make([]Trial, len(grid))
+	workers := r.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+	if workers <= 1 {
+		for i := range grid {
+			out[i] = Run(grid[i])
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = Run(grid[i])
+			}
+		}()
+	}
+	for i := range grid {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,203 @@
+// Package exp is the unified experiment harness: a declarative Scenario
+// describes one trial (topology family, transport arm, LB mode, workload,
+// faults, duration, seed), Run executes it on a private sim.Engine, and
+// Runner executes a grid of scenarios across a worker pool. Every trial owns
+// its own engine, packet pool and RNG, so trials are embarrassingly parallel
+// and bit-identical for a given seed regardless of worker count.
+//
+// Results aggregate through internal/stats and serialize to BENCH_<name>.json
+// artifacts (see report.go). Scenario and Trial are fixed-field structs — no
+// maps — so the serialized form is byte-identical across runs and across
+// parallelism levels, which the determinism regression test relies on.
+package exp
+
+import (
+	"fmt"
+
+	"themis/internal/chaos"
+	"themis/internal/collective"
+	"themis/internal/core"
+	"themis/internal/rnic"
+	"themis/internal/sim"
+	"themis/internal/workload"
+)
+
+// Workload names the experiment family a scenario runs.
+type Workload string
+
+const (
+	// Motivation is the §2.2 Fig. 1 study: two 4-node ring groups spraying
+	// over a fixed 4×4×2 leaf-spine at 100 Gbps. Topology fields are ignored.
+	Motivation Workload = "motivation"
+	// Collective is the §5 Fig. 5 evaluation: synchronized collective groups
+	// spanning all racks of a leaf-spine.
+	Collective Workload = "collective"
+	// Incast is the many-to-one stress test (Senders flows into host 0).
+	Incast Workload = "incast"
+	// Chaos is a fault-injection soak run: the fault schedule is generated
+	// from the seed (see internal/chaos), and invariants are checked.
+	Chaos Workload = "chaos"
+)
+
+// ThemisKnobs is the serializable subset of core.Config — the middleware
+// ablation switches a scenario can flip. Runtime-only fields (tracer, clock,
+// pool) are wired by the harness.
+type ThemisKnobs struct {
+	QueueFactor         float64 `json:"queue_factor,omitempty"`
+	PathSubset          int     `json:"path_subset,omitempty"`
+	DisableBlocking     bool    `json:"disable_blocking,omitempty"`
+	DisableCompensation bool    `json:"disable_compensation,omitempty"`
+	FallbackOnFailure   bool    `json:"fallback_on_failure,omitempty"`
+	Relearn             bool    `json:"relearn,omitempty"`
+}
+
+func (k ThemisKnobs) coreConfig() core.Config {
+	return core.Config{
+		QueueFactor:         k.QueueFactor,
+		PathSubset:          k.PathSubset,
+		DisableBlocking:     k.DisableBlocking,
+		DisableCompensation: k.DisableCompensation,
+		FallbackOnFailure:   k.FallbackOnFailure,
+		Relearn:             k.Relearn,
+	}
+}
+
+// Scenario declaratively describes one trial. The zero value of every field
+// means "workload default" (the same defaults the workload runners apply), so
+// a scenario only states what it varies. Durations serialize as nanoseconds.
+type Scenario struct {
+	// Name uniquely labels the scenario within a grid; Label() derives one
+	// when empty.
+	Name     string   `json:"name,omitempty"`
+	Workload Workload `json:"workload"`
+	Seed     int64    `json:"seed"`
+
+	// Experiment arms.
+	LB        workload.LBMode    `json:"lb,omitempty"`
+	Transport rnic.Transport     `json:"transport,omitempty"`
+	Pattern   collective.Pattern `json:"pattern,omitempty"` // collective only
+	TI        sim.Duration       `json:"ti,omitempty"`      // DCQCN sweep knobs
+	TD        sim.Duration       `json:"td,omitempty"`
+
+	// Topology family (leaf-spine; ignored by Motivation, which pins the
+	// paper's 4×4×2 fabric).
+	Leaves       int          `json:"leaves,omitempty"`
+	Spines       int          `json:"spines,omitempty"`
+	HostsPerLeaf int          `json:"hosts_per_leaf,omitempty"`
+	Bandwidth    int64        `json:"bandwidth,omitempty"`
+	LinkDelay    sim.Duration `json:"link_delay,omitempty"`
+
+	// Workload shape.
+	MessageBytes int64 `json:"message_bytes,omitempty"`
+	Groups       int   `json:"groups,omitempty"`  // collective
+	Senders      int   `json:"senders,omitempty"` // incast fan-in
+	Flows        int   `json:"flows,omitempty"`   // chaos ring flows
+
+	// Mechanics.
+	BurstBytes   int          `json:"burst_bytes,omitempty"`
+	BufferBytes  int          `json:"buffer_bytes,omitempty"`
+	Horizon      sim.Duration `json:"horizon,omitempty"`
+	DisablePFC   bool         `json:"disable_pfc,omitempty"`
+	LossyControl bool         `json:"lossy_control,omitempty"`
+	RTO          sim.Duration `json:"rto,omitempty"`
+	RTOBackoff   float64      `json:"rto_backoff,omitempty"`
+	RTOMax       sim.Duration `json:"rto_max,omitempty"`
+
+	// Middleware ablation knobs.
+	Themis ThemisKnobs `json:"themis,omitempty"`
+
+	// Declarative faults. Chaos scenarios generate their own schedule from
+	// the seed and ignore these.
+	DropEveryNData int                 `json:"drop_every_n_data,omitempty"`
+	LinkFail       *workload.LinkFault `json:"link_fail,omitempty"`
+}
+
+// Label returns Name, or a derived "workload/arm/seed" identifier.
+func (s Scenario) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	switch s.Workload {
+	case Motivation:
+		return fmt.Sprintf("motivation/%v/seed%d", s.Transport, s.Seed)
+	case Collective:
+		return fmt.Sprintf("collective/%v/%v/ti%v-td%v/seed%d", s.Pattern, s.LB, s.TI, s.TD, s.Seed)
+	case Incast:
+		return fmt.Sprintf("incast/%v/seed%d", s.LB, s.Seed)
+	case Chaos:
+		return fmt.Sprintf("chaos/seed%d", s.Seed)
+	default:
+		return fmt.Sprintf("%s/seed%d", s.Workload, s.Seed)
+	}
+}
+
+// collectiveConfig lowers the scenario to the workload runner's config.
+func (s Scenario) collectiveConfig() workload.CollectiveConfig {
+	return workload.CollectiveConfig{
+		Seed:           s.Seed,
+		Pattern:        s.Pattern,
+		MessageBytes:   s.MessageBytes,
+		Leaves:         s.Leaves,
+		Spines:         s.Spines,
+		HostsPerLeaf:   s.HostsPerLeaf,
+		Bandwidth:      s.Bandwidth,
+		Groups:         s.Groups,
+		LB:             s.LB,
+		Transport:      s.Transport,
+		TI:             s.TI,
+		TD:             s.TD,
+		BurstBytes:     s.BurstBytes,
+		BufferBytes:    s.BufferBytes,
+		Horizon:        s.Horizon,
+		DisablePFC:     s.DisablePFC,
+		RTO:            s.RTO,
+		RTOBackoff:     s.RTOBackoff,
+		RTOMax:         s.RTOMax,
+		LossyControl:   s.LossyControl,
+		ThemisCfg:      s.Themis.coreConfig(),
+		DropEveryNData: s.DropEveryNData,
+		LinkFail:       s.LinkFail,
+	}
+}
+
+func (s Scenario) motivationConfig() workload.MotivationConfig {
+	return workload.MotivationConfig{
+		Seed:         s.Seed,
+		MessageBytes: s.MessageBytes,
+		Transport:    s.Transport,
+		LB:           s.LB,
+		Horizon:      s.Horizon,
+		BurstBytes:   s.BurstBytes,
+		TI:           s.TI,
+		TD:           s.TD,
+		RTO:          s.RTO,
+		RTOBackoff:   s.RTOBackoff,
+		RTOMax:       s.RTOMax,
+	}
+}
+
+func (s Scenario) incastConfig() workload.IncastConfig {
+	return workload.IncastConfig{
+		Seed:         s.Seed,
+		Senders:      s.Senders,
+		MessageBytes: s.MessageBytes,
+		Bandwidth:    s.Bandwidth,
+		LinkDelay:    s.LinkDelay,
+		BufferBytes:  s.BufferBytes,
+		LB:           s.LB,
+		DisablePFC:   s.DisablePFC,
+		Horizon:      s.Horizon,
+	}
+}
+
+func (s Scenario) chaosOptions() chaos.Options {
+	return chaos.Options{
+		Leaves:       s.Leaves,
+		Spines:       s.Spines,
+		HostsPerLeaf: s.HostsPerLeaf,
+		Bandwidth:    s.Bandwidth,
+		Flows:        s.Flows,
+		MessageBytes: s.MessageBytes,
+		Horizon:      s.Horizon,
+	}
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+
+	"themis/internal/chaos"
+	"themis/internal/core"
+	"themis/internal/fabric"
+	"themis/internal/rnic"
+	"themis/internal/sim"
+	"themis/internal/workload"
+)
+
+// Trial is the result record of one scenario run: the scenario echoed back
+// (artifacts are self-describing), the headline metrics every workload maps
+// onto, and the raw counter blocks. Fixed fields only — the JSON form must be
+// byte-identical across runs.
+type Trial struct {
+	Name     string   `json:"name"`
+	Scenario Scenario `json:"scenario"`
+	// Err is non-empty if the run failed (e.g. incomplete at the horizon);
+	// metric fields are zero in that case.
+	Err string `json:"err,omitempty"`
+
+	// CCTMillis is the completion time of the workload in milliseconds —
+	// tail-group CCT for collectives, last-flow completion for motivation
+	// and chaos, last-ack for incast.
+	CCTMillis float64 `json:"cct_ms"`
+	// RetransRatio is retransmitted/total data packets over all flows.
+	RetransRatio float64 `json:"retrans_ratio"`
+	// GoodputGbps is the workload's aggregate goodput where defined
+	// (motivation: mean per-flow throughput; incast: receiver goodput).
+	GoodputGbps float64 `json:"goodput_gbps,omitempty"`
+	// AvgRateGbps is the observed flow's mean DCQCN sending rate
+	// (motivation only, Fig. 1c).
+	AvgRateGbps float64 `json:"avg_rate_gbps,omitempty"`
+
+	// Counter blocks.
+	Sender     rnic.SenderStats `json:"sender"`
+	Middleware core.Stats       `json:"middleware"`
+	Net        fabric.Counters  `json:"net"`
+	Engine     sim.Metrics      `json:"engine"`
+
+	// Violations lists invariant violations (chaos scenarios only).
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Run executes one scenario to completion on a private engine and returns its
+// trial record. Failures are reported in Trial.Err, never by panicking, so a
+// grid run surfaces every bad cell at once.
+func Run(sc Scenario) Trial {
+	t := Trial{Name: sc.Label(), Scenario: sc}
+	switch sc.Workload {
+	case Motivation:
+		res, err := workload.RunMotivation(sc.motivationConfig())
+		if err != nil {
+			t.Err = err.Error()
+			return t
+		}
+		t.CCTMillis = res.CompletionTime.Seconds() * 1e3
+		t.RetransRatio = res.AvgRetransRatio
+		t.GoodputGbps = res.AvgThroughput
+		t.AvgRateGbps = res.AvgRateGbps
+		t.Sender = res.Sender
+		t.Engine = res.Engine
+	case Collective:
+		res, err := workload.RunCollective(sc.collectiveConfig())
+		if err != nil {
+			t.Err = err.Error()
+			return t
+		}
+		t.CCTMillis = res.TailCCT.Seconds() * 1e3
+		t.RetransRatio = res.RetransRatio()
+		t.Sender = res.Sender
+		t.Middleware = res.Middleware
+		t.Net = res.Net
+		t.Engine = res.Engine
+	case Incast:
+		res, err := workload.RunIncast(sc.incastConfig())
+		if err != nil {
+			t.Err = err.Error()
+			return t
+		}
+		t.CCTMillis = res.CCT.Seconds() * 1e3
+		t.GoodputGbps = res.GoodputGbps
+		t.Sender = rnic.SenderStats{
+			Retransmits: res.Sender.Retransmits,
+			Timeouts:    res.Sender.Timeouts,
+			NacksRx:     res.Sender.NacksRx,
+		}
+		t.Net.DataDrops = res.Drops
+		t.Engine = res.Engine
+	case Chaos:
+		opt := sc.chaosOptions()
+		// The fault generator needs the topology; probe-build the cluster
+		// once (cheap: no traffic runs on it).
+		probe, err := chaos.BuildCluster(chaos.Scenario{Seed: sc.Seed}, opt)
+		if err != nil {
+			t.Err = err.Error()
+			return t
+		}
+		res, err := chaos.RunScenario(chaos.Generate(sc.Seed, probe.Topo), opt)
+		if err != nil {
+			t.Err = err.Error()
+			return t
+		}
+		t.CCTMillis = res.End.Seconds() * 1e3
+		if res.Sender.DataPackets > 0 {
+			t.RetransRatio = float64(res.Sender.Retransmits) / float64(res.Sender.DataPackets)
+		}
+		t.Sender = res.Sender
+		t.Middleware = res.Middleware
+		t.Net = res.Net
+		t.Engine = res.Engine
+		t.Violations = res.Violations
+	default:
+		t.Err = fmt.Sprintf("exp: unknown workload %q", sc.Workload)
+	}
+	return t
+}

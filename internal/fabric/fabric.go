@@ -91,6 +91,12 @@ type Config struct {
 	Tracer *trace.Tracer
 	// PFC enables per-ingress Priority Flow Control for the data class.
 	PFC PFCConfig
+	// Pool, if non-nil, receives packets back when they reach a terminal:
+	// delivered to a host (after the receive callback returns), dropped, or
+	// blocked by a ToR pipeline. Producers (RNICs, Themis compensation) should
+	// Get from the same pool. Nil keeps the historical allocate-and-GC
+	// behaviour — required by tests that retain delivered packets.
+	Pool *packet.Pool
 }
 
 // Counters aggregates network-wide statistics.
@@ -155,6 +161,7 @@ func NewNetwork(engine *sim.Engine, t *topo.Topology, cfg Config) *Network {
 				sw.receive(p, inPort)
 			},
 		}
+		n.hostUp[h].bind()
 	}
 	return n
 }
@@ -268,4 +275,12 @@ func (n *Network) deliverToHost(h packet.NodeID, pkt *packet.Packet) {
 	if recv := n.hostRecv[h]; recv != nil {
 		recv(pkt)
 	}
+	// The packet's life ends here; the receive path must not retain it.
+	// Recycling after recv returns means packets the handler injects in
+	// response (ACKs, NACKs) never alias the one being delivered.
+	n.cfg.Pool.Put(pkt)
 }
+
+// Pool returns the packet pool packets are recycled through (nil when
+// pooling is disabled).
+func (n *Network) Pool() *packet.Pool { return n.cfg.Pool }

@@ -601,6 +601,38 @@ func TestPartitionDropsAtIngressToR(t *testing.T) {
 	}
 }
 
+// BenchmarkFabricForward measures the per-packet cost of a full cross-rack
+// traversal: host uplink serialization, leaf and spine hops, and delivery on
+// the destination ToR's host port. This is the fabric's end-to-end hot path;
+// allocs/op here multiply by every packet of every trial in a sweep.
+func BenchmarkFabricForward(b *testing.B) {
+	tp, err := topo.NewLeafSpine(topo.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 1,
+		HostLink:   topo.LinkSpec{Bandwidth: gbps100, Delay: usec},
+		FabricLink: topo.LinkSpec{Bandwidth: gbps100, Delay: usec},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	pool := packet.NewPool()
+	n := NewNetwork(e, tp, Config{ControlLossless: true, Pool: pool})
+	n.AttachHost(1, func(*packet.Packet) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pool.Get()
+		p.Kind, p.Src, p.Dst, p.QP = packet.Data, 0, 1, 1
+		p.SPort, p.DPort = 1000, 4791
+		p.PSN, p.Payload = packet.PSN(i), 1000
+		n.Inject(0, p)
+		if i%64 == 63 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
 // Conservation: every injected data packet is either delivered or counted in
 // exactly one drop counter, across random fan-ins and buffer sizes.
 func TestConservationProperty(t *testing.T) {

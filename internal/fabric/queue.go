@@ -23,6 +23,14 @@ type outQueue struct {
 	name       string
 	deliver    func(*packet.Packet)
 
+	// txDoneFn/deliverFn are the deliver/txDone callbacks pre-bound once at
+	// construction (see bind). The serializer schedules them with
+	// Engine.ScheduleArg, passing the packet as the argument, so steady-state
+	// forwarding allocates no closures: a *Packet stored in an interface is a
+	// direct pointer, not a boxing allocation.
+	txDoneFn  func(any)
+	deliverFn func(any)
+
 	q     []*packet.Packet // data class FIFO
 	head  int
 	cq    []*packet.Packet // control class FIFO (strict priority)
@@ -34,6 +42,13 @@ type outQueue struct {
 
 	txPackets uint64
 	txBytes   uint64
+}
+
+// bind installs the arg-carrying schedule callbacks. Must be called once
+// after the deliver field is set.
+func (q *outQueue) bind() {
+	q.txDoneFn = func(a any) { q.txDone(a.(*packet.Packet)) }
+	q.deliverFn = func(a any) { q.deliver(a.(*packet.Packet)) }
 }
 
 // enqueue appends pkt to its class and starts the serializer if possible.
@@ -95,7 +110,7 @@ func (q *outQueue) maybeStart() {
 		}
 	}
 	ser := sim.TransmitTime(pkt.Size(), q.bw)
-	q.net.engine.Schedule(ser, func() { q.txDone(pkt) })
+	q.net.engine.ScheduleArg(ser, q.txDoneFn, pkt)
 }
 
 // txDone fires when the last bit of pkt leaves the port: buffer space is
@@ -109,8 +124,9 @@ func (q *outQueue) txDone(pkt *packet.Packet) {
 	}
 	if q.sw != nil && !q.sw.portUp[q.port] {
 		q.net.counters.LinkDrops++
+		q.net.cfg.Pool.Put(pkt)
 	} else if q.delay > 0 {
-		q.net.engine.Schedule(q.delay, func() { q.deliver(pkt) })
+		q.net.engine.ScheduleArg(q.delay, q.deliverFn, pkt)
 	} else {
 		q.deliver(pkt)
 	}

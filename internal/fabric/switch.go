@@ -64,6 +64,7 @@ func newSwInst(n *Network, sw *topo.Switch) *swInst {
 			peerPort := p.PeerPort
 			q.deliver = func(pkt *packet.Packet) { n.switches[peer].receive(pkt, peerPort) }
 		}
+		q.bind()
 		s.ports[pi] = q
 	}
 	return s
@@ -215,10 +216,9 @@ func (s *swInst) drop(pkt *packet.Packet) {
 }
 
 func (s *swInst) free(pkt *packet.Packet) {
-	// Packets are garbage-collected; a pool hookup would go here. Keeping
-	// the indirection lets transports retain references (retransmit copies
-	// are separate packets).
-	_ = pkt
+	// Safe to recycle: transports never retain references (retransmit
+	// copies are separate packets) and trace events copy fields.
+	s.net.cfg.Pool.Put(pkt)
 }
 
 func (s *swInst) setPortState(port int, up bool) {

@@ -3,7 +3,10 @@ package packet
 // Pool is a free list of packets. Packet-level simulation of multi-terabyte
 // transfers allocates hundreds of millions of packets; recycling them keeps
 // GC pressure flat. The pool is not safe for concurrent use — the simulator
-// is single-threaded by design.
+// is single-threaded by design, so parallel trials each own a pool.
+//
+// All methods are nil-safe: a nil *Pool degrades to plain allocation, so
+// components take an optional pool and call it unconditionally.
 type Pool struct {
 	free []*Packet
 	// Stats.
@@ -17,6 +20,9 @@ func NewPool() *Pool { return &Pool{} }
 
 // Get returns a zeroed packet, reusing a released one when available.
 func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
 	n := len(pl.free)
 	if n == 0 {
 		pl.allocs++
@@ -33,7 +39,7 @@ func (pl *Pool) Get() *Packet {
 // Put releases a packet back to the pool. The caller must not retain the
 // pointer afterwards.
 func (pl *Pool) Put(p *Packet) {
-	if p == nil {
+	if pl == nil || p == nil {
 		return
 	}
 	pl.returns++
@@ -42,5 +48,8 @@ func (pl *Pool) Put(p *Packet) {
 
 // Stats reports (fresh allocations, reuses, returns).
 func (pl *Pool) Stats() (allocs, reuses, returns uint64) {
+	if pl == nil {
+		return 0, 0, 0
+	}
 	return pl.allocs, pl.reuses, pl.returns
 }

@@ -138,28 +138,28 @@ func (r *ReceiverQP) deliver(psn packet.PSN, payload int) {
 
 func (r *ReceiverQP) sendAck() {
 	r.stats.AcksTx++
-	r.nic.inject(&packet.Packet{
-		Kind:  packet.Ack,
-		Src:   r.nic.id,
-		Dst:   r.src,
-		QP:    r.qp,
-		SPort: r.sport,
-		DPort: 4791,
-		PSN:   r.epsn,
-	})
+	p := r.nic.cfg.Pool.Get()
+	p.Kind = packet.Ack
+	p.Src = r.nic.id
+	p.Dst = r.src
+	p.QP = r.qp
+	p.SPort = r.sport
+	p.DPort = 4791
+	p.PSN = r.epsn
+	r.nic.inject(p)
 }
 
 func (r *ReceiverQP) sendNack() {
 	r.stats.NacksTx++
-	r.nic.inject(&packet.Packet{
-		Kind:  packet.Nack,
-		Src:   r.nic.id,
-		Dst:   r.src,
-		QP:    r.qp,
-		SPort: r.sport,
-		DPort: 4791,
-		PSN:   r.epsn, // NACKs carry only the ePSN (§2.2)
-	})
+	p := r.nic.cfg.Pool.Get()
+	p.Kind = packet.Nack
+	p.Src = r.nic.id
+	p.Dst = r.src
+	p.QP = r.qp
+	p.SPort = r.sport
+	p.DPort = 4791
+	p.PSN = r.epsn // NACKs carry only the ePSN (§2.2)
+	r.nic.inject(p)
 }
 
 // maybeSendCNP rate-limits congestion notifications to one per CNPInterval.
@@ -171,12 +171,12 @@ func (r *ReceiverQP) maybeSendCNP() {
 	r.lastCNP = now
 	r.cnpEverSent = true
 	r.stats.CnpsTx++
-	r.nic.inject(&packet.Packet{
-		Kind:  packet.Cnp,
-		Src:   r.nic.id,
-		Dst:   r.src,
-		QP:    r.qp,
-		SPort: r.sport,
-		DPort: 4791,
-	})
+	p := r.nic.cfg.Pool.Get()
+	p.Kind = packet.Cnp
+	p.Src = r.nic.id
+	p.Dst = r.src
+	p.QP = r.qp
+	p.SPort = r.sport
+	p.DPort = 4791
+	r.nic.inject(p)
 }

@@ -91,6 +91,10 @@ type Config struct {
 	// spraying into out-of-order arrivals even without persistent
 	// congestion. Default: one packet (perfectly smooth pacing).
 	BurstBytes int
+	// Pool, if non-nil, is the packet free list injected packets are drawn
+	// from. Share it with fabric.Config.Pool so delivered packets recycle
+	// back. Nil allocates normally.
+	Pool *packet.Pool
 }
 
 func (c Config) withDefaults() Config {

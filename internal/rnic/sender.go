@@ -181,17 +181,16 @@ func (s *SenderQP) transmitNext() {
 			break
 		}
 		payload := s.payloadOf(psn)
-		p := &packet.Packet{
-			Kind:       packet.Data,
-			Src:        s.nic.id,
-			Dst:        s.dst,
-			QP:         s.qp,
-			SPort:      s.sport,
-			DPort:      4791,
-			PSN:        psn,
-			Payload:    payload,
-			Retransmit: retrans,
-		}
+		p := s.nic.cfg.Pool.Get()
+		p.Kind = packet.Data
+		p.Src = s.nic.id
+		p.Dst = s.dst
+		p.QP = s.qp
+		p.SPort = s.sport
+		p.DPort = 4791
+		p.PSN = psn
+		p.Payload = payload
+		p.Retransmit = retrans
 		s.stats.DataPackets++
 		s.stats.BytesSent += uint64(payload)
 		if retrans {
@@ -286,17 +285,16 @@ func (s *SenderQP) retransmitNow(psn packet.PSN) {
 		return
 	}
 	payload := s.payloadOf(psn)
-	p := &packet.Packet{
-		Kind:       packet.Data,
-		Src:        s.nic.id,
-		Dst:        s.dst,
-		QP:         s.qp,
-		SPort:      s.sport,
-		DPort:      4791,
-		PSN:        psn,
-		Payload:    payload,
-		Retransmit: true,
-	}
+	p := s.nic.cfg.Pool.Get()
+	p.Kind = packet.Data
+	p.Src = s.nic.id
+	p.Dst = s.dst
+	p.QP = s.qp
+	p.SPort = s.sport
+	p.DPort = 4791
+	p.PSN = psn
+	p.Payload = payload
+	p.Retransmit = true
 	s.stats.DataPackets++
 	s.stats.BytesSent += uint64(payload)
 	s.stats.Retransmits++

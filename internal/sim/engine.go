@@ -8,19 +8,36 @@ import (
 
 // Event is a scheduled callback. It is returned by the Schedule family so
 // callers can cancel pending events (e.g. retransmission timers).
+//
+// Handle lifetime: an Event is live from scheduling until it fires or is
+// cancelled, after which the engine recycles the struct through an intrusive
+// free list (see Metrics.EventReuses). A dead handle may still be queried
+// (Fired/Cancelled report the final state) or passed to Cancel (a no-op)
+// until the next Schedule/At call, which may reuse the struct. Code that can
+// observe its event firing must drop the handle at that point — the pattern
+// Timer and the transport pacer follow by nilling their reference inside the
+// callback.
 type Event struct {
 	time      Time
 	seq       uint64 // tie-breaker: FIFO among same-time events
 	index     int    // heap index, -1 once popped or cancelled
 	fn        func()
+	fnArg     func(any) // arg-carrying callback (used when fn == nil)
+	arg       any
 	cancelled bool
+	fired     bool
 }
 
 // Time returns the virtual time at which the event fires.
 func (e *Event) Time() Time { return e.time }
 
-// Cancelled reports whether Cancel was called on the event.
+// Cancelled reports whether Cancel removed the event before it fired.
 func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Fired reports whether the event's callback ran. Fired and Cancelled are
+// mutually exclusive: cancelling an already-fired event is a no-op and does
+// not mark it cancelled.
+func (e *Event) Fired() bool { return e.fired }
 
 // eventHeap orders events by (time, seq).
 type eventHeap []*Event
@@ -52,15 +69,37 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Metrics is the engine's hot-path counter block. Trial records surface it so
+// sweeps can report how much scheduling work a scenario did and how effective
+// event recycling was.
+type Metrics struct {
+	// EventsExecuted is the total number of events whose callbacks ran.
+	EventsExecuted uint64
+	// EventsCancelled is the number of events removed before firing.
+	EventsCancelled uint64
+	// EventAllocs is the number of Event structs freshly allocated.
+	EventAllocs uint64
+	// EventReuses is the number of Schedule/At calls served from the free
+	// list — allocations avoided by recycling popped and cancelled events.
+	EventReuses uint64
+	// HeapHighWater is the maximum event-queue depth observed.
+	HeapHighWater int
+}
+
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; the whole simulation runs on the goroutine that calls Run.
 type Engine struct {
 	now     Time
 	queue   eventHeap
 	nextSeq uint64
-	nEvents uint64 // total events executed
 	rng     *rand.Rand
 	stopped bool
+
+	// free is the intrusive free list: fired and cancelled events are pushed
+	// here and reused by the next Schedule/At instead of allocating.
+	free []*Event
+
+	metrics Metrics
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
@@ -81,18 +120,67 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Executed returns the total number of events executed so far.
-func (e *Engine) Executed() uint64 { return e.nEvents }
+func (e *Engine) Executed() uint64 { return e.metrics.EventsExecuted }
+
+// Metrics returns a snapshot of the engine's hot-path counters.
+func (e *Engine) Metrics() Metrics { return e.metrics }
+
+// newEvent returns a zeroed event, reusing a recycled one when available.
+func (e *Engine) newEvent() *Event {
+	n := len(e.free)
+	if n == 0 {
+		e.metrics.EventAllocs++
+		return &Event{}
+	}
+	ev := e.free[n-1]
+	e.free[n-1] = nil
+	e.free = e.free[:n-1]
+	e.metrics.EventReuses++
+	*ev = Event{}
+	return ev
+}
+
+// release recycles a dead event. The final fired/cancelled flags stay
+// readable on the handle until the struct is reused; the callback references
+// are dropped immediately so captured state can be collected.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.fnArg = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a logic bug in a discrete-event model.
 func (e *Engine) At(t Time, fn func()) *Event {
+	ev := e.newEvent()
+	ev.fn = fn
+	e.schedule(t, ev)
+	return ev
+}
+
+// AtArg schedules fn(arg) at absolute time t. Unlike At, a caller that keeps
+// one bound fn and varies arg schedules without any closure allocation — the
+// fabric's serializers use this for their per-packet completion events.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
+	ev := e.newEvent()
+	ev.fnArg = fn
+	ev.arg = arg
+	e.schedule(t, ev)
+	return ev
+}
+
+func (e *Engine) schedule(t Time, ev *Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{time: t, seq: e.nextSeq, fn: fn}
+	ev.time = t
+	ev.seq = e.nextSeq
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
-	return ev
+	if len(e.queue) > e.metrics.HeapHighWater {
+		e.metrics.HeapHighWater = len(e.queue)
+	}
 }
 
 // Schedule schedules fn to run after delay d (d may be zero).
@@ -103,18 +191,28 @@ func (e *Engine) Schedule(d Duration, fn func()) *Event {
 	return e.At(e.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
-		if ev != nil {
-			ev.cancelled = true
-		}
-		return
+// ScheduleArg schedules fn(arg) after delay d; see AtArg.
+func (e *Engine) ScheduleArg(d Duration, fn func(any), arg any) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
+	}
+	return e.AtArg(e.now.Add(d), fn, arg)
+}
+
+// Cancel removes a pending event and reports whether it was pending.
+// Cancelling nil, an already-fired or an already-cancelled event is a no-op
+// returning false — in particular a fired event is NOT marked cancelled, so
+// Fired/Cancelled always reflect what actually happened to the callback.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.cancelled || ev.fired || ev.index < 0 {
+		return false
 	}
 	ev.cancelled = true
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
+	e.metrics.EventsCancelled++
+	e.release(ev)
+	return true
 }
 
 // Stop makes Run return after the current event completes.
@@ -132,8 +230,16 @@ func (e *Engine) Run(until Time) Time {
 		}
 		heap.Pop(&e.queue)
 		e.now = ev.time
-		e.nEvents++
-		ev.fn()
+		e.metrics.EventsExecuted++
+		// Mark fired before invoking so a callback cancelling its own handle
+		// is a no-op rather than a double release.
+		ev.fired = true
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.fnArg(ev.arg)
+		}
+		e.release(ev)
 	}
 	return e.now
 }

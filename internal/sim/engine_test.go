@@ -144,6 +144,113 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+func TestEngineCancelReturnsPending(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.At(10, func() {})
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel of a pending event should return true")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel should return false")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) should return false")
+	}
+}
+
+// The popped-then-cancelled path: once an event fires, Cancel must be a no-op
+// that does NOT mark it cancelled — Fired/Cancelled stay mutually exclusive.
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.At(10, func() {})
+	if ev.Fired() {
+		t.Fatal("pending event reports Fired")
+	}
+	e.RunAll()
+	if !ev.Fired() {
+		t.Fatal("executed event not marked fired")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("Cancel of a fired event should return false")
+	}
+	if ev.Cancelled() {
+		t.Fatal("fired event marked cancelled by late Cancel")
+	}
+	if !ev.Fired() {
+		t.Fatal("late Cancel cleared the fired flag")
+	}
+}
+
+// A callback cancelling its own (already-firing) event must not corrupt the
+// free list: the event is released exactly once.
+func TestEngineSelfCancelInCallback(t *testing.T) {
+	e := NewEngine(1)
+	var ev *Event
+	ev = e.At(10, func() {
+		if e.Cancel(ev) {
+			t.Error("self-cancel during fire should return false")
+		}
+	})
+	other := e.At(20, func() {})
+	e.RunAll()
+	if !ev.Fired() || ev.Cancelled() {
+		t.Fatalf("fired=%v cancelled=%v", ev.Fired(), ev.Cancelled())
+	}
+	if !other.Fired() {
+		t.Fatal("subsequent event did not fire")
+	}
+}
+
+func TestEngineEventReuse(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 100; i++ {
+		e.Schedule(1, func() {})
+		e.RunAll()
+	}
+	m := e.Metrics()
+	if m.EventAllocs != 1 {
+		t.Fatalf("EventAllocs = %d, want 1 (free list should recycle)", m.EventAllocs)
+	}
+	if m.EventReuses != 99 {
+		t.Fatalf("EventReuses = %d, want 99", m.EventReuses)
+	}
+	if m.EventsExecuted != 100 {
+		t.Fatalf("EventsExecuted = %d, want 100", m.EventsExecuted)
+	}
+}
+
+func TestEngineMetricsCounters(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.At(5, func() {})
+	e.At(10, func() {})
+	e.At(15, func() {})
+	if m := e.Metrics(); m.HeapHighWater != 3 {
+		t.Fatalf("HeapHighWater = %d, want 3", m.HeapHighWater)
+	}
+	e.Cancel(ev)
+	e.RunAll()
+	m := e.Metrics()
+	if m.EventsCancelled != 1 {
+		t.Fatalf("EventsCancelled = %d, want 1", m.EventsCancelled)
+	}
+	if m.EventsExecuted != 2 {
+		t.Fatalf("EventsExecuted = %d, want 2", m.EventsExecuted)
+	}
+}
+
+func TestEngineScheduleArg(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	fn := func(a any) { got = append(got, a.(int)) }
+	e.ScheduleArg(20, fn, 2)
+	e.AtArg(10, fn, 1)
+	e.ScheduleArg(30, fn, 3)
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine(1)
 	var fired []int
@@ -356,6 +463,20 @@ func TestTickerZeroPeriodPanics(t *testing.T) {
 		}
 	}()
 	NewTicker(e, 0, func() {})
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule-then-cancel cycle that
+// dominates transport timer traffic: every ack progress re-arms the RTO timer
+// (Timer.Reset = Cancel + Schedule), so this pair is the hottest engine
+// operation after plain event execution.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(Duration(100), fn)
+		e.Cancel(ev)
+	}
 }
 
 func BenchmarkEngineScheduleRun(b *testing.B) {

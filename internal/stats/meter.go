@@ -58,6 +58,15 @@ func (m *RateMeter) Finish(t sim.Time) *Series {
 // window.
 func (m *RateMeter) Series() *Series { return m.series }
 
+// Reset discards all accumulated samples and pending window content and
+// rewinds the window clock to zero, keeping the name and window size. The
+// meter behaves as if freshly constructed (reused across trials).
+func (m *RateMeter) Reset() {
+	m.start = 0
+	m.current = 0
+	m.series = NewSeries(m.series.Name)
+}
+
 // RatioMeter measures the ratio of two counters (e.g. retransmitted packets /
 // total packets) per window.
 type RatioMeter struct {
@@ -104,6 +113,18 @@ func (m *RatioMeter) Finish(t sim.Time) *Series {
 		m.flushWindow()
 	}
 	return m.series
+}
+
+// Series returns the samples accumulated so far without closing the current
+// window.
+func (m *RatioMeter) Series() *Series { return m.series }
+
+// Reset discards accumulated samples and pending contributions and rewinds
+// the window clock to zero; see RateMeter.Reset.
+func (m *RatioMeter) Reset() {
+	m.start = 0
+	m.num, m.denom = 0, 0
+	m.series = NewSeries(m.series.Name)
 }
 
 // Counter is a named monotonically increasing counter.

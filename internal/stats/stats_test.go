@@ -180,6 +180,101 @@ func TestRatioMeterZeroWindowPanics(t *testing.T) {
 	NewRatioMeter("x", 0)
 }
 
+func TestPercentileSingleton(t *testing.T) {
+	one := []float64{42}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := Percentile(one, p); got != 42 {
+			t.Fatalf("p%g of singleton = %g, want 42", p, got)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s != (Summary{}) {
+		t.Fatalf("empty Summarize = %+v, want zero value", s)
+	}
+	// The zero summary is JSON-clean (no NaNs), unlike raw Percentile/Mean.
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 {
+		t.Fatalf("empty summary not zeroed: %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	want := Summary{Count: 1, Sum: 7, Mean: 7, Min: 7, Max: 7, P50: 7, P99: 7}
+	if s != want {
+		t.Fatalf("Summarize([7]) = %+v, want %+v", s, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Sum != 10 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.P50 != 2 || s.P99 != 4 {
+		t.Fatalf("percentiles = p50 %g p99 %g", s.P50, s.P99)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	a := Summarize([]float64{1, 2, 3})
+	b := Summarize([]float64{10, 20})
+	m := a.Merge(b)
+	if m.Count != 5 || m.Sum != 36 || m.Min != 1 || m.Max != 20 {
+		t.Fatalf("Merge = %+v", m)
+	}
+	if math.Abs(m.Mean-36.0/5) > 1e-12 {
+		t.Fatalf("Mean = %g", m.Mean)
+	}
+	// Merging with the empty summary is the identity in either direction —
+	// the parallel runner folds trial records starting from the zero value.
+	if a.Merge(Summary{}) != a || (Summary{}).Merge(a) != a {
+		t.Fatal("merge with zero summary should be identity")
+	}
+	// Merge is commutative on the exact fields.
+	ba := b.Merge(a)
+	if ba.Count != m.Count || ba.Sum != m.Sum || ba.Min != m.Min || ba.Max != m.Max {
+		t.Fatalf("merge not commutative: %+v vs %+v", ba, m)
+	}
+}
+
+func TestRateMeterReset(t *testing.T) {
+	m := NewRateMeter("tx", sim.Microsecond)
+	m.Observe(sim.Time(100*sim.Nanosecond), 100)
+	m.Finish(sim.Time(2 * sim.Microsecond))
+	m.Reset()
+	if m.Series().Len() != 0 {
+		t.Fatal("Reset kept samples")
+	}
+	if m.Series().Name != "tx" {
+		t.Fatal("Reset lost the name")
+	}
+	// The window clock restarted: an observation at t=0 must not panic or
+	// land in a stale window, and the pending amount from before Reset is gone.
+	m.Observe(0, 50)
+	s := m.Finish(sim.Time(sim.Microsecond))
+	if s.Len() != 1 || math.Abs(s.Samples[0].V-50/1e-6) > 1e-6 {
+		t.Fatalf("post-reset series = %+v", s.Samples)
+	}
+}
+
+func TestRatioMeterReset(t *testing.T) {
+	m := NewRatioMeter("rt", sim.Microsecond)
+	m.Observe(0, 1, 2)
+	m.Finish(sim.Time(2 * sim.Microsecond))
+	m.Reset()
+	if m.Series().Len() != 0 {
+		t.Fatal("Reset kept samples")
+	}
+	m.Observe(0, 3, 4)
+	s := m.Finish(sim.Time(sim.Microsecond))
+	if s.Len() != 1 || math.Abs(s.Samples[0].V-0.75) > 1e-12 {
+		t.Fatalf("post-reset series = %+v", s.Samples)
+	}
+}
+
 func TestCounter(t *testing.T) {
 	c := Counter{Name: "drops"}
 	c.Inc(3)

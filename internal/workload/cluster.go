@@ -105,6 +105,11 @@ type ClusterConfig struct {
 	// production RoCE fabrics keep the control class lossless.
 	LossyControl bool
 
+	// DropEveryNData, if positive, drops every Nth data packet at switch
+	// egress — the declarative form of the counter-based LossFunc the loss
+	// ablations use, expressible in a serialized scenario.
+	DropEveryNData int
+
 	// Themis middleware (used when LB == Themis).
 	ThemisCfg core.Config
 
@@ -199,11 +204,16 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	engine := sim.NewEngine(cfg.Seed)
+	// One pool per cluster: the engine is single-threaded, so every component
+	// on it can share the free list. The fabric recycles packets at their
+	// terminals; NICs and Themis draw replacements from the same pool.
+	pool := packet.NewPool()
 	fcfg := fabric.Config{
 		BufferBytes:     cfg.BufferBytes,
 		ControlLossless: !cfg.LossyControl,
 		NewDataSelector: cfg.selector(),
 		Tracer:          cfg.Tracer,
+		Pool:            pool,
 	}
 	if !cfg.DisableECN {
 		fcfg.ECN = fabric.DefaultECN(cfg.Bandwidth)
@@ -212,6 +222,13 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		fcfg.PFC = fabric.DefaultPFC(cfg.Bandwidth)
 	}
 	net := fabric.NewNetwork(engine, t, fcfg)
+	if n := cfg.DropEveryNData; n > 0 {
+		count := 0
+		net.SetLossFunc(func(p *packet.Packet, sw, port int) bool {
+			count++
+			return count%n == 0
+		})
+	}
 
 	cl := &Cluster{
 		Config:      cfg,
@@ -235,6 +252,7 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		RTOMax:     cfg.RTOMax,
 		AckEvery:   cfg.AckEvery,
 		BurstBytes: cfg.BurstBytes,
+		Pool:       pool,
 	}
 	ncfg.CC.LineRate = cfg.Bandwidth
 	ncfg.CC.TI = cfg.TI
@@ -249,6 +267,7 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	if cfg.LB == Themis {
 		tcfg := cfg.ThemisCfg
+		tcfg.Pool = pool
 		if cfg.FatTreeK > 0 && tcfg.Mode == core.DirectSpray {
 			tcfg.Mode = core.PathMapSpray
 		}

@@ -5,6 +5,7 @@ import (
 
 	"themis/internal/collective"
 	"themis/internal/core"
+	"themis/internal/fabric"
 	"themis/internal/packet"
 	"themis/internal/rnic"
 	"themis/internal/sim"
@@ -41,6 +42,20 @@ type CollectiveConfig struct {
 	// LossyControl drops ACK/NACK/CNP like data (robustness experiments).
 	LossyControl bool
 	ThemisCfg    core.Config
+	// DropEveryNData, if positive, drops every Nth data packet at switch
+	// egress (loss ablations; see ClusterConfig.DropEveryNData).
+	DropEveryNData int
+	// LinkFail, if non-nil, takes one switch port down mid-run (§5.3).
+	LinkFail *LinkFault
+}
+
+// LinkFault declaratively describes a single link failure: switch Switch's
+// port Port goes down at time At; Repair > 0 brings it back up at that time.
+type LinkFault struct {
+	Switch int          `json:"switch"`
+	Port   int          `json:"port"`
+	At     sim.Duration `json:"at"`
+	Repair sim.Duration `json:"repair,omitempty"`
 }
 
 func (c CollectiveConfig) withDefaults() CollectiveConfig {
@@ -79,6 +94,10 @@ type CollectiveResult struct {
 	Sender rnic.SenderStats
 	// Middleware aggregates Themis counters (zero unless LB == Themis).
 	Middleware core.Stats
+	// Net aggregates fabric counters (drops, PFC pauses, ECN marks).
+	Net fabric.Counters
+	// Engine is the event-loop counter block for this trial's engine.
+	Engine sim.Metrics
 }
 
 // RetransRatio is the fraction of transmitted data packets that were
@@ -108,26 +127,34 @@ func RunCollective(cfg CollectiveConfig) (*CollectiveResult, error) {
 		return nil, fmt.Errorf("workload: %d groups need at most HostsPerLeaf=%d", cfg.Groups, cfg.HostsPerLeaf)
 	}
 	cl, err := BuildCluster(ClusterConfig{
-		Seed:         cfg.Seed,
-		Leaves:       cfg.Leaves,
-		Spines:       cfg.Spines,
-		HostsPerLeaf: cfg.HostsPerLeaf,
-		Bandwidth:    cfg.Bandwidth,
-		LB:           cfg.LB,
-		Transport:    cfg.Transport,
-		TI:           cfg.TI,
-		TD:           cfg.TD,
-		BurstBytes:   cfg.BurstBytes,
-		BufferBytes:  cfg.BufferBytes,
-		DisablePFC:   cfg.DisablePFC,
-		RTO:          cfg.RTO,
-		RTOBackoff:   cfg.RTOBackoff,
-		RTOMax:       cfg.RTOMax,
-		LossyControl: cfg.LossyControl,
-		ThemisCfg:    cfg.ThemisCfg,
+		Seed:           cfg.Seed,
+		Leaves:         cfg.Leaves,
+		Spines:         cfg.Spines,
+		HostsPerLeaf:   cfg.HostsPerLeaf,
+		Bandwidth:      cfg.Bandwidth,
+		LB:             cfg.LB,
+		Transport:      cfg.Transport,
+		TI:             cfg.TI,
+		TD:             cfg.TD,
+		BurstBytes:     cfg.BurstBytes,
+		BufferBytes:    cfg.BufferBytes,
+		DisablePFC:     cfg.DisablePFC,
+		RTO:            cfg.RTO,
+		RTOBackoff:     cfg.RTOBackoff,
+		RTOMax:         cfg.RTOMax,
+		LossyControl:   cfg.LossyControl,
+		ThemisCfg:      cfg.ThemisCfg,
+		DropEveryNData: cfg.DropEveryNData,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if f := cfg.LinkFail; f != nil {
+		f := *f
+		cl.Engine.Schedule(f.At, func() { cl.FailLink(f.Switch, f.Port) })
+		if f.Repair > 0 {
+			cl.Engine.Schedule(f.Repair, func() { cl.RepairLink(f.Switch, f.Port) })
+		}
 	}
 
 	res := &CollectiveResult{GroupCCT: make([]sim.Time, cfg.Groups)}
@@ -152,6 +179,8 @@ func RunCollective(cfg CollectiveConfig) (*CollectiveResult, error) {
 	res.TailCCT = maxTime(res.GroupCCT)
 	res.Sender = cl.AggregateSenderStats()
 	res.Middleware = cl.ThemisStats()
+	res.Net = cl.Net.Counters()
+	res.Engine = cl.Engine.Metrics()
 	return res, nil
 }
 

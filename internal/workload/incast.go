@@ -48,6 +48,8 @@ type IncastResult struct {
 	Pauses      uint64 // PFC pause frames sent by the destination ToR
 	Sender      SenderAgg
 	GoodputGbps float64 // receiver goodput over the completion time
+	// Engine is the event-loop counter block for this trial's engine.
+	Engine sim.Metrics
 }
 
 // SenderAgg is the aggregate sender-side counters of an incast run.
@@ -99,5 +101,6 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	res.Pauses, _ = cl.Net.PFCStats(cl.Topo.ToROf(0))
 	total := float64(cfg.MessageBytes) * float64(cfg.Senders)
 	res.GoodputGbps = total * 8 / res.CCT.Seconds() / 1e9
+	res.Engine = cl.Engine.Metrics()
 	return res, nil
 }

@@ -79,6 +79,8 @@ type MotivationResult struct {
 	CompletionTime sim.Time
 	// Aggregate transport counters.
 	Sender rnic.SenderStats
+	// Engine is the event-loop counter block for this trial's engine.
+	Engine sim.Metrics
 }
 
 // MotivationFlows returns the ring flow pairs of Fig. 1a: two groups
@@ -186,6 +188,7 @@ func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
 		res.ThroughputGbps = append(res.ThroughputGbps, gbps)
 	}
 	res.AvgThroughput = stats.Mean(res.ThroughputGbps)
+	res.Engine = cl.Engine.Metrics()
 	return res, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"themis/internal/chaos"
 	"themis/internal/collective"
 	"themis/internal/core"
+	"themis/internal/exp"
 	"themis/internal/memmodel"
 	"themis/internal/packet"
 	"themis/internal/rnic"
@@ -78,6 +79,14 @@ type (
 	ChaosOptions = chaos.Options
 	// ChaosResult is the audited outcome of one chaos scenario.
 	ChaosResult = chaos.Result
+	// Scenario declaratively describes one experiment-harness trial.
+	Scenario = exp.Scenario
+	// Trial is the result record of one scenario run.
+	Trial = exp.Trial
+	// Runner executes a grid of scenarios across a worker pool.
+	Runner = exp.Runner
+	// Report is the serialized BENCH_<name>.json artifact of one sweep.
+	Report = exp.Report
 )
 
 // Load-balancing arms.
@@ -146,3 +155,10 @@ func ChaosSoak(first int64, count int, opt ChaosOptions) ([]*ChaosResult, error)
 
 // Fig5Arms returns the three systems Fig. 5 compares, in paper order.
 func Fig5Arms() []LBMode { return workload.Fig5Arms() }
+
+// RunScenario executes one declarative scenario through the experiment
+// harness on a private engine; failures are reported in Trial.Err.
+func RunScenario(sc Scenario) Trial { return exp.Run(sc) }
+
+// NewReport aggregates trials into a named BENCH artifact; see internal/exp.
+func NewReport(name string, trials []Trial) *Report { return exp.NewReport(name, trials) }
