@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-smoke
+# Minimum statement coverage (percent) over internal/... that `make cover`
+# enforces.
+COVER_FLOOR ?= 70
+
+.PHONY: build test vet lint race cover fuzz-smoke verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,8 +26,29 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# cover gates statement coverage on the simulation packages: the observability
+# and fuzz hardening work is only worth keeping if the floor holds.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	ok=$$(awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN {print (t >= f) ? 1 : 0}'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
+	fi
+
+# fuzz-smoke gives every fuzz target a short budget — enough to re-check the
+# committed corpora and shake out shallow regressions on every merge; long
+# fuzz runs stay a manual/background job.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/packet/ -run '^$$' -fuzz FuzzPSNCompare -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/packet/ -run '^$$' -fuzz FuzzPSNAdd -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzClassifyNACK -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
+
 # verify is the full pre-merge recipe.
-verify: build vet lint test race
+verify: build vet lint test race cover fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"themis/internal/obs"
+	"themis/internal/packet"
+)
+
+// runInspect reconstructs per-flow timelines from a JSONL trace dump — the
+// offline half of the flight recorder: a violating run dumps its ring, and
+// this command answers "what happened to that flow" after the fact.
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	qp := fs.Int("qp", 0, "show only this QP's timeline (0 = all)")
+	psn := fs.Int("psn", -1, "explain the Themis verdict for this PSN (requires -qp)")
+	events := fs.Bool("events", false, "print the full per-PSN event ledger, not just summaries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: themis-sim inspect [-qp N] [-psn N] [-events] <dump.jsonl>")
+	}
+	if *psn >= 0 && *qp == 0 {
+		return fmt.Errorf("-psn requires -qp (a PSN is only meaningful within one flow)")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := obs.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+
+	fmt.Printf("dump %s: label=%q seed=%d events=%d/%d recorded", fs.Arg(0), d.Label, d.Seed, len(d.Events), d.Total)
+	if d.Truncated() {
+		fmt.Printf(" (ring evicted %d oldest)", d.Total-uint64(len(d.Events)))
+	}
+	fmt.Println()
+	for _, v := range d.Violations {
+		fmt.Printf("  VIOLATION: %s\n", v)
+	}
+
+	qps := obs.QPs(d.Events)
+	if *qp > 0 {
+		qps = []packet.QPID{packet.QPID(*qp)}
+	}
+	bad := 0
+	for _, id := range qps {
+		tl := obs.TimelineFromDump(d, id)
+		if *psn >= 0 {
+			fmt.Println(tl.ExplainNACK(packet.NewPSN(uint32(*psn))))
+			continue
+		}
+		if *events {
+			if err := tl.Format(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("flow qp=%d: %d events over %d PSNs\n", id, len(tl.Events), len(tl.Entries))
+		}
+		for _, v := range tl.CheckInvariants() {
+			fmt.Printf("  LEDGER: %s\n", v)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d ledger invariant violations", bad)
+	}
+	return nil
+}

@@ -10,29 +10,44 @@
 //
 //	themis-sim run [-workload motivation|collective|incast|chaos] [-lb ...] [-transport ...]
 //	    [-pattern ...] [-bytes N] [-seed S] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-json out.json]
+//	    [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
 //	    One declarative scenario through the experiment harness; prints the
-//	    trial record and optionally writes it as a JSON report.
+//	    trial record and optionally writes it as a JSON report. -metrics
+//	    snapshots the trial's metrics registry into the record; -flight-dir
+//	    arms a flight recorder that dumps a JSONL trace on failure.
 //
 //	themis-sim sweep [-grid fig5|fig1|smoke|chaos|queue-factor|path-subset|loss-recovery]
 //	    [-pattern allreduce|alltoall] [-bytes N] [-seed S] [-seeds N] [-parallel N] [-json out.json]
+//	    [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
 //	    A scenario grid through the parallel runner (default: the full Fig. 5
 //	    matrix, all five DCQCN settings × {ECMP, AR, Themis}). -parallel N
 //	    runs N trials concurrently — per-seed results are bit-identical to a
 //	    sequential run. -json writes the aggregated report artifact.
+//	    -cpuprofile/-memprofile write pprof profiles of the sweep;
+//	    -pprof-addr serves live net/http/pprof while it runs.
 //
 //	themis-sim memory [-paths N] [-bw gbps] [-rtt us] [-nics N] [-qps N] [-mtu N] [-factor F]
 //	    Table 1 / §4: the Themis memory-overhead model.
 //
-//	themis-sim trace [-qp N] [-last N]
+//	themis-sim trace [-qp N] [-last N] [-json out.jsonl]
 //	    Run a small contended Themis scenario and dump the packet/middleware
-//	    event trace — the evidence trail behind each NACK verdict.
+//	    event trace — the evidence trail behind each NACK verdict. -json
+//	    exports the full trace as a schema-v1 JSONL dump for `inspect`.
 //
-//	themis-sim chaos [-seed S] [-seeds N] [-bytes N] [-flows N] [-leaves N] [-spines N] [-hosts N] [-v]
+//	themis-sim inspect <dump.jsonl> [-qp N] [-psn N] [-events]
+//	    Reconstruct per-flow timelines from a JSONL trace dump (written by
+//	    `trace -json` or a flight recorder), re-check the ledger invariants,
+//	    and explain NACK verdicts ("why was this NACK blocked?").
+//
+//	themis-sim chaos [-seed S] [-seeds N] [-bytes N] [-flows N] [-leaves N] [-spines N] [-hosts N]
+//	    [-flight-dir DIR] [-v]
 //	    Deterministic fault-injection soak: N seeded scenarios (link flaps,
 //	    drop/corruption rates, control-plane loss, ToR reboots, blackholes)
 //	    against the hardened cluster, auditing the graceful-degradation
 //	    invariants after each. Exits non-zero if any invariant is violated;
-//	    rerun with -seed to replay a single violating scenario.
+//	    rerun with -seed to replay a single violating scenario. -flight-dir
+//	    arms a per-scenario flight recorder: a violating seed dumps its
+//	    trace ring as <DIR>/flight-seed<S>.jsonl for `inspect`.
 package main
 
 import (
@@ -44,6 +59,7 @@ import (
 	"themis"
 	"themis/internal/exp"
 	"themis/internal/memmodel"
+	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/rnic"
 	"themis/internal/sim"
@@ -70,6 +86,8 @@ func main() {
 		err = runMemory(os.Args[2:])
 	case "trace":
 		err = runTrace(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
 	case "chaos":
 		err = runChaos(os.Args[2:])
 	case "-h", "--help", "help":
@@ -86,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: themis-sim <motivation|collective|run|sweep|memory|trace|chaos> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: themis-sim <motivation|collective|run|sweep|memory|trace|inspect|chaos> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'themis-sim <command> -h' for command flags")
 }
 
@@ -252,6 +270,9 @@ func printTrial(t exp.Trial) {
 	for _, v := range t.Violations {
 		fmt.Printf("  VIOLATION: %s\n", v)
 	}
+	if t.FlightDump != "" {
+		fmt.Printf("  flight dump: %s\n", t.FlightDump)
+	}
 }
 
 func runScenario(args []string) error {
@@ -267,6 +288,9 @@ func runScenario(args []string) error {
 	hosts := fs.Int("hosts", 0, "hosts per leaf")
 	bw := fs.Float64("bw", 0, "link bandwidth, Gbps")
 	jsonOut := fs.String("json", "", "write the trial as a JSON report to this path")
+	metrics := fs.Bool("metrics", false, "snapshot the metrics registry into the trial record")
+	flightDir := fs.String("flight-dir", "", "arm a flight recorder; dump a JSONL trace here on failure")
+	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -293,8 +317,17 @@ func runScenario(args []string) error {
 		Leaves:       *leaves, Spines: *spines, HostsPerLeaf: *hosts,
 		Bandwidth: int64(*bw * 1e9),
 	}
-	trial := exp.Run(sc)
+	if _, err := pf.start(); err != nil {
+		return err
+	}
+	trial := exp.RunObserved(sc, exp.Obs{Metrics: *metrics, FlightDir: *flightDir})
+	if err := pf.stop(); err != nil {
+		return err
+	}
 	printTrial(trial)
+	if trial.Metrics != nil {
+		printSnapshot(trial.Metrics)
+	}
 	if trial.Err != "" {
 		return fmt.Errorf("scenario failed: %s", trial.Err)
 	}
@@ -302,6 +335,21 @@ func runScenario(args []string) error {
 		return writeReport(trial.Name, *jsonOut, []exp.Trial{trial})
 	}
 	return nil
+}
+
+// printSnapshot renders a metrics-registry snapshot (already sorted by name).
+func printSnapshot(s *obs.Snapshot) {
+	fmt.Println("metrics:")
+	for _, c := range s.Counters {
+		fmt.Printf("  %-32s %g\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Printf("  %-32s %g\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Printf("  %-32s n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f\n",
+			h.Name, h.Count, h.Mean, h.P50, h.P99, h.Max)
+	}
 }
 
 func runSweep(args []string) error {
@@ -313,6 +361,9 @@ func runSweep(args []string) error {
 	seeds := fs.Int("seeds", 1, "seed count (fig1, smoke, chaos)")
 	parallel := fs.Int("parallel", 1, "worker pool size")
 	jsonOut := fs.String("json", "", "write the aggregated report JSON to this path")
+	metrics := fs.Bool("metrics", false, "snapshot a per-trial metrics registry into each record")
+	flightDir := fs.String("flight-dir", "", "arm per-trial flight recorders; dump JSONL traces here on failure")
+	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -348,9 +399,18 @@ func runSweep(args []string) error {
 		return fmt.Errorf("unknown grid %q", *gridName)
 	}
 
+	if _, err := pf.start(); err != nil {
+		return err
+	}
 	start := time.Now()
-	trials := exp.Runner{Parallel: *parallel}.Run(grid)
+	trials := exp.Runner{
+		Parallel: *parallel,
+		Obs:      exp.Obs{Metrics: *metrics, FlightDir: *flightDir},
+	}.Run(grid)
 	elapsed := time.Since(start)
+	if err := pf.stop(); err != nil {
+		return err
+	}
 
 	fmt.Printf("sweep %s: %d scenarios, parallel=%d, wall=%.2fs\n", *gridName, len(grid), *parallel, elapsed.Seconds())
 	if *gridName == "fig5" {
@@ -410,12 +470,14 @@ func runChaos(args []string) error {
 	spines := fs.Int("spines", 3, "spine switches")
 	hosts := fs.Int("hosts", 2, "hosts per leaf")
 	verbose := fs.Bool("v", false, "print every scenario, not just violations")
+	flightDir := fs.String("flight-dir", "", "arm per-scenario flight recorders; dump JSONL traces here on violation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opt := themis.ChaosOptions{
 		Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts,
 		Flows: *flows, MessageBytes: *bytes,
+		FlightDir: *flightDir,
 	}
 	results, err := themis.ChaosSoak(*seed, *seeds, opt)
 	if err != nil {
@@ -437,6 +499,9 @@ func runChaos(args []string) error {
 				res.Middleware.Reboots, res.Middleware.Relearns)
 			for _, v := range res.Violations {
 				fmt.Printf("  VIOLATION: %s\n", v)
+			}
+			if res.FlightDump != "" {
+				fmt.Printf("  flight dump: %s\n", res.FlightDump)
 			}
 		}
 	}
@@ -484,6 +549,7 @@ func runTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	qp := fs.Int("qp", 0, "restrict the dump to one QP (0 = all)")
 	last := fs.Int("last", 60, "print only the last N events")
+	jsonOut := fs.String("json", "", "export the full trace as a JSONL dump to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -516,5 +582,17 @@ func runTrace(args []string) error {
 	}
 	fmt.Println()
 	fmt.Print(tr.Summary())
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		d := obs.NewDump("trace", 42, tr, nil)
+		if err := obs.WriteJSONL(f, d); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", *jsonOut, len(d.Events))
+	}
 	return nil
 }

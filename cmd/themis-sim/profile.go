@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags bundles the profiling options shared by the run and sweep
+// subcommands. Zero-valued flags cost nothing; the profiles exist to answer
+// "where does a sweep spend its time / memory" without external tooling.
+type profileFlags struct {
+	cpu   *string
+	mem   *string
+	pprof *string
+
+	cpuFile *os.File
+}
+
+// addProfileFlags registers -cpuprofile, -memprofile and -pprof-addr on fs.
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	return &profileFlags{
+		cpu:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem:   fs.String("memprofile", "", "write a heap profile to this file on exit"),
+		pprof: fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; port 0 picks one)"),
+	}
+}
+
+// start begins CPU profiling and the pprof server as requested. It returns
+// the bound pprof address ("" when not serving) so callers/tests can connect
+// even with port 0. Call stop (always non-nil) when the workload is done.
+func (p *profileFlags) start() (addr string, err error) {
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return "", fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return "", fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if *p.pprof != "" {
+		ln, err := net.Listen("tcp", *p.pprof)
+		if err != nil {
+			p.stopCPU()
+			return "", fmt.Errorf("pprof-addr: %w", err)
+		}
+		addr = ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", addr)
+		go func() {
+			// The server lives for the process; Serve only returns on error.
+			_ = http.Serve(ln, nil)
+		}()
+	}
+	return addr, nil
+}
+
+func (p *profileFlags) stopCPU() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+// stop finalizes profiling: flushes the CPU profile and writes the heap
+// profile if requested.
+func (p *profileFlags) stop() error {
+	p.stopCPU()
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"themis/internal/core"
 	"themis/internal/fabric"
+	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/rnic"
 	"themis/internal/sim"
@@ -22,6 +23,16 @@ type Options struct {
 	MessageBytes                 int64        // per-flow transfer (default 2 MB)
 	Horizon                      sim.Duration // wall guard (default 2 s virtual)
 	Tracer                       *trace.Tracer
+	// Metrics, if non-nil, is the shared registry cluster components register
+	// their gauges on (see internal/obs).
+	Metrics *obs.Registry
+	// FlightDir, if non-empty, arms a flight recorder: the run records into a
+	// bounded ring (capacity FlightCapacity, default obs.DefaultFlightCapacity)
+	// and, when any invariant is violated, dumps the retained window to
+	// <FlightDir>/flight-seed<seed>.jsonl for `themis-sim inspect`. When
+	// Tracer is also set it takes precedence and no recorder is created.
+	FlightDir      string
+	FlightCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +70,9 @@ type Result struct {
 	Net        fabric.Counters
 	Engine     sim.Metrics // event-loop counter block for this run's engine
 	Violations []string    // empty = all invariants held
+	// FlightDump is the path of the flight-recorder dump written for a
+	// violating run (empty when no recorder was armed or nothing tripped).
+	FlightDump string
 }
 
 // BuildCluster assembles the hardened cluster the harness runs scenarios
@@ -80,6 +94,7 @@ func BuildCluster(sc Scenario, opt Options) (*workload.Cluster, error) {
 		RTOMax:       10 * sim.Millisecond,
 		ThemisCfg:    core.Config{Relearn: true},
 		Tracer:       opt.Tracer,
+		Metrics:      opt.Metrics,
 	})
 }
 
@@ -89,6 +104,11 @@ func BuildCluster(sc Scenario, opt Options) (*workload.Cluster, error) {
 // Result.
 func RunScenario(sc Scenario, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	var flight *obs.FlightRecorder
+	if opt.FlightDir != "" && opt.Tracer == nil {
+		flight = obs.NewFlightRecorder(opt.FlightDir, opt.FlightCapacity)
+		opt.Tracer = flight.Tracer()
+	}
 	cl, err := BuildCluster(sc, opt)
 	if err != nil {
 		return nil, err
@@ -120,6 +140,16 @@ func RunScenario(sc Scenario, opt Options) (*Result, error) {
 		Net:        cl.Net.Counters(),
 		Engine:     cl.Engine.Metrics(),
 		Violations: CheckInvariants(cl, remaining),
+	}
+	if len(res.Violations) > 0 && flight != nil {
+		path, err := flight.Dump(fmt.Sprintf("seed%d", sc.Seed), sc.Seed, res.Violations)
+		if err != nil {
+			// Surface the dump failure next to the violations it documents;
+			// never mask the original finding.
+			res.Violations = append(res.Violations, obs.DumpError(err))
+		} else {
+			res.FlightDump = path
+		}
 	}
 	return res, nil
 }

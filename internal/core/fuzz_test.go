@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"themis/internal/packet"
+)
+
+// FuzzClassifyNACK drives Themis-D with arbitrary byte-driven interleavings
+// of in-order deliveries, reordered and late arrivals, and receiver NACKs,
+// then audits the counter algebra that the paper's §3.3/§3.4 state machine
+// guarantees: every inspected NACK gets exactly one verdict, and
+// compensations/cancellations never exceed the blocked NACKs that armed them.
+func FuzzClassifyNACK(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x0b, 0x00, 0x13})       // deliver, NACK behind, NACK ahead
+	f.Add([]byte{0x00, 0x09, 0x03, 0x00, 0x00})             // skip ahead, NACK, catch up
+	f.Add([]byte{0x00, 0x00, 0x43, 0x00, 0x02, 0x00, 0x83}) // block then late arrival
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("interleaving longer than any real window")
+		}
+		dst := New(leafSpine(t, 2, 2, 2), 1, Config{})
+		if err := dst.RegisterFlow(1, 0, 2, 1000); err != nil {
+			t.Fatal(err)
+		}
+		next := packet.PSN(0)
+		for _, b := range data {
+			arg := int(b >> 2)
+			switch b & 3 {
+			case 0: // in-order delivery
+				dst.OnDeliverToHost(dataPkt(1, 0, 2, next))
+				next = next.Next()
+			case 1: // reordered arrival from ahead of the cursor
+				dst.OnDeliverToHost(dataPkt(1, 0, 2, next.Add(arg)))
+			case 2: // late arrival from behind the cursor
+				dst.OnDeliverToHost(dataPkt(1, 0, 2, next.Add(-arg)))
+			default: // receiver NACK with an ePSN near the window
+				dst.FilterHostControl(nackPkt(1, 2, 0, next.Add(arg-32)))
+			}
+		}
+		st := dst.Stats()
+		if st.NacksSeen != st.NacksForwarded+st.NacksBlocked {
+			t.Fatalf("verdicts leak: seen=%d forwarded=%d blocked=%d",
+				st.NacksSeen, st.NacksForwarded, st.NacksBlocked)
+		}
+		if st.Compensations > st.NacksBlocked {
+			t.Fatalf("compensations=%d exceed blocked=%d", st.Compensations, st.NacksBlocked)
+		}
+		// Every blocked NACK either cancels immediately or arms at most one
+		// compensation; each arm resolves as at most one compensation or
+		// cancellation.
+		if st.Compensations+st.CompensationCancelled > st.NacksBlocked {
+			t.Fatalf("compensations=%d + cancelled=%d exceed blocked=%d",
+				st.Compensations, st.CompensationCancelled, st.NacksBlocked)
+		}
+		if n := dst.PendingCompensations(); n > 1 {
+			t.Fatalf("one flow has %d armed compensations", n)
+		}
+		if entries, capacity, _ := dst.RingStats(); entries > capacity {
+			t.Fatalf("ring occupancy %d exceeds capacity %d", entries, capacity)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"themis/internal/lb"
+	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/sim"
 	"themis/internal/topo"
@@ -80,6 +81,10 @@ type Config struct {
 	// Pool, if non-nil, supplies packets for compensation NACKs. Share it
 	// with fabric.Config.Pool. Nil allocates normally.
 	Pool *packet.Pool
+	// Metrics, if non-nil, receives this instance's verdict counters as
+	// additive "themis.*" gauges (pull-based: no per-packet cost). Share one
+	// registry across all ToRs to get cluster-wide totals.
+	Metrics *obs.Registry
 }
 
 // Stats counts Themis events on one ToR.
@@ -146,13 +151,32 @@ func New(t *topo.Topology, swID int, cfg Config) *Themis {
 	if cfg.MTU == 0 {
 		cfg.MTU = packet.DefaultMTU
 	}
-	return &Themis{
+	th := &Themis{
 		topology: t,
 		swID:     swID,
 		cfg:      cfg,
 		srcFlows: make(map[packet.QPID]*flowState),
 		dstFlows: make(map[packet.QPID]*flowState),
 	}
+	th.registerMetrics(cfg.Metrics)
+	return th
+}
+
+// registerMetrics exposes the verdict counters as additive gauges. Pull-based
+// (evaluated only at Snapshot time), so the per-packet cost of enabling
+// metrics is exactly zero. No-op on a nil registry.
+func (th *Themis) registerMetrics(r *obs.Registry) {
+	r.GaugeFunc("themis.sprayed", func() float64 { return float64(th.stats.Sprayed) })
+	r.GaugeFunc("themis.nacks_seen", func() float64 { return float64(th.stats.NacksSeen) })
+	r.GaugeFunc("themis.nacks_forwarded", func() float64 { return float64(th.stats.NacksForwarded) })
+	r.GaugeFunc("themis.nacks_blocked", func() float64 { return float64(th.stats.NacksBlocked) })
+	r.GaugeFunc("themis.compensations", func() float64 { return float64(th.stats.Compensations) })
+	r.GaugeFunc("themis.compensation_cancelled", func() float64 { return float64(th.stats.CompensationCancelled) })
+	r.GaugeFunc("themis.scan_misses", func() float64 { return float64(th.stats.ScanMisses) })
+	r.GaugeFunc("themis.ring_overflows", func() float64 { return float64(th.stats.RingOverflows) })
+	r.GaugeFunc("themis.bypassed", func() float64 { return float64(th.stats.Bypassed) })
+	r.GaugeFunc("themis.reboots", func() float64 { return float64(th.stats.Reboots) })
+	r.GaugeFunc("themis.relearns", func() float64 { return float64(th.stats.Relearns) })
 }
 
 // Stats returns a snapshot of this instance's counters.
@@ -364,7 +388,6 @@ func (th *Themis) OnDeliverToHost(pkt *packet.Packet) []*packet.Packet {
 			// confirmed lost. Generate the NACK the RNIC cannot (§3.4).
 			fs.valid = false
 			th.stats.Compensations++
-			th.trace(trace.Compensate, pkt)
 			nack := th.cfg.Pool.Get()
 			nack.Kind = packet.Nack
 			nack.Src = fs.dst
@@ -373,6 +396,10 @@ func (th *Themis) OnDeliverToHost(pkt *packet.Packet) []*packet.Packet {
 			nack.SPort = pkt.SPort
 			nack.DPort = 4791
 			nack.PSN = fs.bepsn
+			// Trace the generated NACK, not the triggering data packet: the
+			// event then carries PSN=BePSN and lands in the ledger entry of
+			// the blocked NACK it stands in for.
+			th.trace(trace.Compensate, nack)
 			out = append(out, nack)
 		}
 	}

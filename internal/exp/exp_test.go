@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"themis/internal/collective"
+	"themis/internal/obs"
 	"themis/internal/rnic"
 	"themis/internal/workload"
 )
@@ -189,5 +190,42 @@ func TestReportWriteFile(t *testing.T) {
 	want, _ := rep.JSON()
 	if !bytes.Equal(b, want) {
 		t.Fatal("file contents differ from JSON()")
+	}
+}
+
+// TestRunObservedDumpsFlightOnPanic drives the failure path of the flight
+// recorder end to end: a workload that panics mid-setup (SendMessage rejects
+// the non-positive size) must come back as a Trial.Err — never a crashed
+// grid — with the ring dumped to disk for `themis-sim inspect`.
+func TestRunObservedDumpsFlightOnPanic(t *testing.T) {
+	dir := t.TempDir()
+	sc := Scenario{Name: "chaos-bad-size", Workload: Chaos, Seed: 3, MessageBytes: -1}
+	tr := RunObserved(sc, Obs{FlightDir: dir})
+	if !strings.Contains(tr.Err, "panic") {
+		t.Fatalf("Err = %q, want a recovered panic", tr.Err)
+	}
+	if tr.FlightDump == "" {
+		t.Fatal("no flight dump written for a panicking trial")
+	}
+	f, err := os.Open(tr.FlightDump)
+	if err != nil {
+		t.Fatalf("open dump: %v", err)
+	}
+	defer f.Close()
+	d, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("dump not parsable: %v", err)
+	}
+	if d.Label != tr.Name || d.Seed != sc.Seed {
+		t.Fatalf("dump metadata = %q/%d, want %q/%d", d.Label, d.Seed, tr.Name, sc.Seed)
+	}
+	if len(d.Violations) == 0 || !strings.Contains(d.Violations[0], "panic") {
+		t.Fatalf("dump violations = %v, want the recovered panic", d.Violations)
+	}
+
+	// An error that is reported (not panicked) takes the same exit: dumped.
+	tr = RunObserved(Scenario{Name: "bad", Workload: Workload("nope"), Seed: 4}, Obs{FlightDir: dir})
+	if tr.Err == "" || tr.FlightDump == "" {
+		t.Fatalf("erroring trial: Err=%q FlightDump=%q, want both set", tr.Err, tr.FlightDump)
 	}
 }

@@ -10,6 +10,10 @@ import "sync"
 type Runner struct {
 	// Parallel is the worker count; values < 1 mean 1 (sequential).
 	Parallel int
+	// Obs is the per-trial observability configuration. Flight recorders and
+	// metrics registries are created per trial, so every Obs field except
+	// Tracer is parallel-safe; a shared Tracer requires Parallel <= 1.
+	Obs Obs
 }
 
 // Run executes every scenario and returns one trial per scenario, in input
@@ -25,9 +29,12 @@ func (r Runner) Run(grid []Scenario) []Trial {
 	}
 	if workers <= 1 {
 		for i := range grid {
-			out[i] = Run(grid[i])
+			out[i] = RunObserved(grid[i], r.Obs)
 		}
 		return out
+	}
+	if r.Obs.Tracer != nil {
+		panic("exp: Runner with a shared Obs.Tracer requires Parallel <= 1 (use Obs.FlightDir for per-trial rings)")
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -36,7 +43,7 @@ func (r Runner) Run(grid []Scenario) []Trial {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = Run(grid[i])
+				out[i] = RunObserved(grid[i], r.Obs)
 			}
 		}()
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"themis/internal/lb"
+	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/sim"
 	"themis/internal/topo"
@@ -97,6 +98,9 @@ type Config struct {
 	// Get from the same pool. Nil keeps the historical allocate-and-GC
 	// behaviour — required by tests that retain delivered packets.
 	Pool *packet.Pool
+	// Metrics, if non-nil, exposes the network-wide Counters as "fabric.*"
+	// gauges (pull-based: read only at Snapshot time, zero hot-path cost).
+	Metrics *obs.Registry
 }
 
 // Counters aggregates network-wide statistics.
@@ -163,7 +167,19 @@ func NewNetwork(engine *sim.Engine, t *topo.Topology, cfg Config) *Network {
 		}
 		n.hostUp[h].bind()
 	}
+	n.registerMetrics(cfg.Metrics)
 	return n
+}
+
+// registerMetrics exposes the network counters as gauges; no-op on nil.
+func (n *Network) registerMetrics(r *obs.Registry) {
+	r.GaugeFunc("fabric.delivered", func() float64 { return float64(n.counters.Delivered) })
+	r.GaugeFunc("fabric.data_drops", func() float64 { return float64(n.counters.DataDrops) })
+	r.GaugeFunc("fabric.ctrl_drops", func() float64 { return float64(n.counters.CtrlDrops) })
+	r.GaugeFunc("fabric.ecn_marks", func() float64 { return float64(n.counters.EcnMarks) })
+	r.GaugeFunc("fabric.blocked", func() float64 { return float64(n.counters.Blocked) })
+	r.GaugeFunc("fabric.compensated", func() float64 { return float64(n.counters.Compensated) })
+	r.GaugeFunc("fabric.link_drops", func() float64 { return float64(n.counters.LinkDrops) })
 }
 
 // Engine returns the simulation engine.

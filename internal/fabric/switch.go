@@ -22,6 +22,7 @@ type swInst struct {
 	dataSel  lb.Selector
 	ctrlSel  lb.Selector
 	pipeline TorPipeline
+	seed     uint32 // cached lb.TierSeed(sw.Tier), hot on every ECMP decision
 
 	dataDrops uint64
 	ecnMarks  uint64
@@ -40,6 +41,7 @@ func newSwInst(n *Network, sw *topo.Switch) *swInst {
 		dataSel: n.cfg.NewDataSelector(),
 		ctrlSel: n.cfg.NewCtrlSelector(),
 		portUp:  make([]bool, len(sw.Ports)),
+		seed:    lb.TierSeed(sw.Tier),
 	}
 	if n.cfg.PFC.Enabled {
 		s.pfc = newPFCState(len(sw.Ports))
@@ -74,7 +76,7 @@ func newSwInst(n *Network, sw *topo.Switch) *swInst {
 func (s *swInst) Now() sim.Time           { return s.net.engine.Now() }
 func (s *swInst) QueueBytes(port int) int { return s.ports[port].bytes }
 func (s *swInst) Rand() *rand.Rand        { return s.net.engine.Rand() }
-func (s *swInst) Seed() uint32            { return lb.TierSeed(s.sw.Tier) }
+func (s *swInst) Seed() uint32            { return s.seed }
 
 // receive handles a packet arriving on inPort (or injected by the pipeline
 // with inPort == -1).

@@ -1,0 +1,55 @@
+package lb
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"themis/internal/packet"
+)
+
+// TestHashMatchesStdlibCRC32 pins the table-driven hashers to the stdlib
+// checksum they replaced for allocation-freedom: any divergence would silently
+// re-route every ECMP flow and invalidate golden results.
+func TestHashMatchesStdlibCRC32(t *testing.T) {
+	ref := func(k packet.FlowKey) uint32 {
+		b := []byte{
+			byte(k.Src), byte(k.Src >> 8), byte(k.Src >> 16), byte(k.Src >> 24),
+			byte(k.Dst), byte(k.Dst >> 8), byte(k.Dst >> 16), byte(k.Dst >> 24),
+			byte(k.SPort), byte(k.SPort >> 8),
+			byte(k.DPort), byte(k.DPort >> 8),
+		}
+		return crc32.ChecksumIEEE(b)
+	}
+	if err := quick.Check(func(src, dst uint32, sport, dport uint16) bool {
+		k := packet.FlowKey{Src: packet.NodeID(src), Dst: packet.NodeID(dst), SPort: sport, DPort: dport}
+		return Hash(k) == ref(k)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for swID := 0; swID < 1<<10; swID++ {
+		want := crc32.ChecksumIEEE([]byte{byte(swID), byte(swID >> 8), byte(swID >> 16), 0x5a})
+		if got := SwitchSeed(swID); got != want {
+			t.Fatalf("SwitchSeed(%d) = %#x, want %#x", swID, got, want)
+		}
+	}
+	for tier := 0; tier < 8; tier++ {
+		want := crc32.ChecksumIEEE([]byte{byte(tier), 0xc3, 0x96, 0x69})
+		if got := TierSeed(tier); got != want {
+			t.Fatalf("TierSeed(%d) = %#x, want %#x", tier, got, want)
+		}
+	}
+}
+
+// TestHashZeroAlloc guards the escape-analysis property the rewrite bought.
+func TestHashZeroAlloc(t *testing.T) {
+	k := packet.FlowKey{Src: 3, Dst: 9, SPort: 1000, DPort: 4791}
+	var sink uint32
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += Hash(k) + TierSeed(1) + SwitchSeed(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("hashing allocates %.1f/op", allocs)
+	}
+	_ = sink
+}

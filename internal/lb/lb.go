@@ -39,26 +39,38 @@ type Selector interface {
 	Name() string
 }
 
+// ieeeTable is the byte-at-a-time CRC-32/IEEE table. The stdlib's
+// ChecksumIEEE forces its input slice to escape (it feeds arch-specific fast
+// paths), which would cost one heap allocation per ECMP decision; hashing the
+// fixed-size keys byte by byte against the table keeps the fabric forward
+// path allocation-free while producing bit-identical checksums.
+var ieeeTable = crc32.MakeTable(crc32.IEEE)
+
+// crcByte folds one byte into a running CRC-32/IEEE state.
+func crcByte(crc uint32, b byte) uint32 {
+	return ieeeTable[byte(crc)^b] ^ (crc >> 8)
+}
+
 // Hash is the ECMP hash over a flow key. It is CRC32 (IEEE), which real
 // switch ASICs commonly use, and which is linear over GF(2): for a fixed
 // base key, XOR-ing a delta into the UDP source port changes the hash by a
 // key-independent delta. That linearity is what makes the offline PathMap of
 // §3.2 (and [37]) valid for every flow; see package core.
 func Hash(k packet.FlowKey) uint32 {
-	var b [12]byte
-	b[0] = byte(k.Src)
-	b[1] = byte(k.Src >> 8)
-	b[2] = byte(k.Src >> 16)
-	b[3] = byte(k.Src >> 24)
-	b[4] = byte(k.Dst)
-	b[5] = byte(k.Dst >> 8)
-	b[6] = byte(k.Dst >> 16)
-	b[7] = byte(k.Dst >> 24)
-	b[8] = byte(k.SPort)
-	b[9] = byte(k.SPort >> 8)
-	b[10] = byte(k.DPort)
-	b[11] = byte(k.DPort >> 8)
-	return crc32.ChecksumIEEE(b[:])
+	crc := ^uint32(0)
+	crc = crcByte(crc, byte(k.Src))
+	crc = crcByte(crc, byte(k.Src>>8))
+	crc = crcByte(crc, byte(k.Src>>16))
+	crc = crcByte(crc, byte(k.Src>>24))
+	crc = crcByte(crc, byte(k.Dst))
+	crc = crcByte(crc, byte(k.Dst>>8))
+	crc = crcByte(crc, byte(k.Dst>>16))
+	crc = crcByte(crc, byte(k.Dst>>24))
+	crc = crcByte(crc, byte(k.SPort))
+	crc = crcByte(crc, byte(k.SPort>>8))
+	crc = crcByte(crc, byte(k.DPort))
+	crc = crcByte(crc, byte(k.DPort>>8))
+	return ^crc
 }
 
 // Index reduces a hash onto n candidates. For power-of-two n this is a mask
@@ -77,8 +89,12 @@ func Index(h uint32, n int) int {
 // (rather than per-tier) diversity is wanted — e.g. deriving a flow's P_base
 // in Eq. 1.
 func SwitchSeed(swID int) uint32 {
-	b := [4]byte{byte(swID), byte(swID >> 8), byte(swID >> 16), 0x5a}
-	return crc32.ChecksumIEEE(b[:])
+	crc := ^uint32(0)
+	crc = crcByte(crc, byte(swID))
+	crc = crcByte(crc, byte(swID>>8))
+	crc = crcByte(crc, byte(swID>>16))
+	crc = crcByte(crc, 0x5a)
+	return ^crc
 }
 
 // TierSeed derives the ECMP hash seed for a topology tier. Real fabrics
@@ -89,8 +105,12 @@ func SwitchSeed(swID int) uint32 {
 // hash polarization. The PathMap prober in package core mirrors this exact
 // function.
 func TierSeed(tier int) uint32 {
-	b := [4]byte{byte(tier), 0xc3, 0x96, 0x69}
-	return crc32.ChecksumIEEE(b[:])
+	crc := ^uint32(0)
+	crc = crcByte(crc, byte(tier))
+	crc = crcByte(crc, 0xc3)
+	crc = crcByte(crc, 0x96)
+	crc = crcByte(crc, 0x69)
+	return ^crc
 }
 
 // gf32Mul multiplies two elements of GF(2^32) modulo the CRC-32/IEEE

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"themis/internal/trace"
+)
+
+// DefaultFlightCapacity is the ring size a flight recorder uses when the
+// caller does not choose one: large enough to hold the full event history of
+// the harness's small scenarios, small enough (a few MB) to keep one per
+// parallel trial.
+const DefaultFlightCapacity = 1 << 16
+
+// FlightRecorder couples a bounded trace ring with a dump directory: the
+// simulation records into the ring for free (it is an ordinary tracer), and
+// when an invariant trips, a trial errors or a panic unwinds, Dump flushes
+// the retained window to disk as a schema-v1 JSONL artifact. Every red run
+// thereby ships its own repro evidence; `themis-sim inspect` reconstructs
+// the offending flow's timeline from the file.
+//
+// A nil *FlightRecorder is inert: Tracer() returns nil (zero recording cost,
+// per the tracer's nil convention) and Dump is a no-op.
+type FlightRecorder struct {
+	tracer *trace.Tracer
+	dir    string
+}
+
+// NewFlightRecorder creates a recorder ringing the last capacity events
+// (DefaultFlightCapacity when capacity <= 0) and dumping into dir.
+func NewFlightRecorder(dir string, capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{tracer: trace.New(capacity), dir: dir}
+}
+
+// Tracer returns the recording ring; install it as the cluster's tracer.
+// Nil-safe (nil recorder -> nil tracer -> zero-cost recording).
+func (f *FlightRecorder) Tracer() *trace.Tracer {
+	if f == nil {
+		return nil
+	}
+	return f.tracer
+}
+
+// Dump writes the retained events as <dir>/flight-<label>.jsonl and returns
+// the path. The label is sanitized for use as a file name. Safe on nil
+// (returns "" and no error) so callers can dump unconditionally.
+func (f *FlightRecorder) Dump(label string, seed int64, violations []string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(f.dir, FlightFileName(label))
+	d := NewDump(label, seed, f.tracer, violations)
+	tmp, err := os.CreateTemp(f.dir, ".flight-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteJSONL(tmp, d); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	// Rename-into-place so a concurrently tailing reader never sees a
+	// half-written dump.
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// FlightFileName derives the dump file name for a run label:
+// "flight-<sanitized label>.jsonl".
+func FlightFileName(label string) string {
+	s := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, label)
+	if s == "" {
+		s = "unnamed"
+	}
+	return "flight-" + s + ".jsonl"
+}
+
+// DumpError formats a dump failure for surfacing next to the original
+// violation without masking it.
+func DumpError(err error) string {
+	return fmt.Sprintf("flight recorder dump failed: %v", err)
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/trace"
+)
+
+// FuzzTraceRoundTrip builds an arbitrary event stream from the fuzz input,
+// exports it, re-imports it and exports again: the two serializations must be
+// byte-identical (the acceptance bar for the schema — report diffing and
+// golden files depend on it). Op bytes beyond the defined range exercise the
+// "Op(N)" fallback of String/ParseOp.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add("smoke/seed1", int64(1), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add("chaos seed 7", int64(7), []byte{0xff, 0xee, 0xdd, 0xcc})
+	f.Add("", int64(-1), []byte{})
+	f.Fuzz(func(t *testing.T, label string, seed int64, data []byte) {
+		tr := trace.New(64)
+		var now sim.Time
+		for i := 0; i+4 <= len(data); i += 4 {
+			b := data[i : i+4]
+			now += sim.Time(b[0]) // monotone, arbitrary gaps
+			tr.Record(trace.Event{
+				T:    now,
+				Op:   trace.Op(b[1] % 16), // 13..15 are out of range on purpose
+				Sw:   int(b[2]%8) - 1,
+				Port: int(b[3]%8) - 1,
+				Kind: packet.Kind(b[1] % 3),
+				QP:   packet.QPID(b[2]),
+				PSN:  packet.NewPSN(uint32(b[3])<<8 | uint32(b[0])),
+				Src:  packet.NodeID(b[0] % 16),
+				Dst:  packet.NodeID(b[1] % 16),
+			})
+		}
+		d := NewDump(label, seed, tr, nil)
+		var first bytes.Buffer
+		if err := WriteJSONL(&first, d); err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		got, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("import of our own export: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := WriteJSONL(&second, got); err != nil {
+			t.Fatalf("re-export: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip not byte-identical:\n--- first\n%s--- second\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
+}

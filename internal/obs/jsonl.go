@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/trace"
+)
+
+// SchemaVersion is the JSONL trace schema version this package writes.
+// Version history:
+//
+//	v1 — header line {"schema":"themis-trace","version":1,...} followed by
+//	     one event object per line. Times are integer picoseconds; ops are
+//	     the trace.Op mnemonics.
+const SchemaVersion = 1
+
+// schemaName identifies the artifact kind in the header line.
+const schemaName = "themis-trace"
+
+// Dump is one exported trace: identifying metadata plus the retained events.
+// It is the round-trippable unit — WriteJSONL(ReadJSONL(x)) reproduces x
+// byte-for-byte, which FuzzTraceRoundTrip verifies.
+type Dump struct {
+	// Label identifies the run (scenario label, chaos seed, ...).
+	Label string
+	// Seed is the run's RNG seed, for replay.
+	Seed int64
+	// Total is the number of events ever recorded by the source tracer;
+	// when Total > len(Events) the ring evicted the oldest events and the
+	// dump is a suffix of the run, not the whole story.
+	Total uint64
+	// Violations carries the invariant violations (if any) that triggered
+	// the dump.
+	Violations []string
+	// Events are the retained events, oldest first.
+	Events []trace.Event
+}
+
+// Truncated reports whether the source ring evicted events before the dump
+// was taken; ledger invariant checks on a truncated dump are best-effort.
+func (d *Dump) Truncated() bool { return d.Total > uint64(len(d.Events)) }
+
+// NewDump snapshots a tracer into a dump. Safe on a nil tracer (empty dump).
+func NewDump(label string, seed int64, tr *trace.Tracer, violations []string) *Dump {
+	return &Dump{
+		Label:      label,
+		Seed:       seed,
+		Total:      tr.Total(),
+		Violations: violations,
+		Events:     tr.Events(),
+	}
+}
+
+// headerJSON is the first line of a v1 dump. Fixed field order — the struct
+// is the schema.
+type headerJSON struct {
+	Schema     string   `json:"schema"`
+	Version    int      `json:"version"`
+	Label      string   `json:"label"`
+	Seed       int64    `json:"seed"`
+	Total      uint64   `json:"total"`
+	Retained   int      `json:"retained"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// eventJSON is one event line of a v1 dump. Fixed field order; times are
+// integer picoseconds so no float formatting can perturb a round trip.
+type eventJSON struct {
+	T    int64  `json:"t"`
+	Op   string `json:"op"`
+	Sw   int    `json:"sw"`
+	Port int    `json:"port"`
+	Kind uint8  `json:"kind"`
+	QP   int32  `json:"qp"`
+	PSN  uint32 `json:"psn"`
+	Src  int32  `json:"src"`
+	Dst  int32  `json:"dst"`
+}
+
+// WriteJSONL serializes the dump in schema v1: a header line followed by one
+// compact JSON object per event.
+func WriteJSONL(w io.Writer, d *Dump) error {
+	bw := bufio.NewWriter(w)
+	hdr := headerJSON{
+		Schema:     schemaName,
+		Version:    SchemaVersion,
+		Label:      canonical(d.Label),
+		Seed:       d.Seed,
+		Total:      d.Total,
+		Retained:   len(d.Events),
+		Violations: canonicalAll(d.Violations),
+	}
+	if err := writeLine(bw, hdr); err != nil {
+		return err
+	}
+	for _, ev := range d.Events {
+		ej := eventJSON{
+			T:    int64(ev.T),
+			Op:   ev.Op.String(),
+			Sw:   ev.Sw,
+			Port: ev.Port,
+			Kind: uint8(ev.Kind),
+			QP:   int32(ev.QP),
+			PSN:  ev.PSN.Uint32(),
+			Src:  int32(ev.Src),
+			Dst:  int32(ev.Dst),
+		}
+		if err := writeLine(bw, ej); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// canonical replaces invalid UTF-8 with the replacement rune before
+// marshaling. encoding/json renders invalid bytes as the escape sequence
+// � but writes an input U+FFFD raw, so without this normalization a
+// label containing invalid UTF-8 would serialize differently before and
+// after a round trip, breaking the byte-identity guarantee (found by
+// FuzzTraceRoundTrip).
+func canonical(s string) string { return strings.ToValidUTF8(s, "�") }
+
+func canonicalAll(ss []string) []string {
+	for i, s := range ss {
+		if c := canonical(s); c != s {
+			ss[i] = c
+		}
+	}
+	return ss
+}
+
+func writeLine(w *bufio.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// ReadJSONL parses a schema v1 dump. It rejects unknown schema names and
+// versions loudly — the versioned header exists precisely so that a future
+// v2 can change the line format without silently misreading old artifacts.
+func ReadJSONL(r io.Reader) (*Dump, error) {
+	br := bufio.NewReader(r)
+	line, err := readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading dump header: %w", err)
+	}
+	var hdr headerJSON
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, fmt.Errorf("obs: parsing dump header: %w", err)
+	}
+	if hdr.Schema != schemaName {
+		return nil, fmt.Errorf("obs: not a trace dump (schema %q)", hdr.Schema)
+	}
+	if hdr.Version != SchemaVersion {
+		return nil, fmt.Errorf("obs: unsupported trace schema version %d (have %d)", hdr.Version, SchemaVersion)
+	}
+	d := &Dump{
+		Label:      hdr.Label,
+		Seed:       hdr.Seed,
+		Total:      hdr.Total,
+		Violations: hdr.Violations,
+	}
+	for lineNo := 2; ; lineNo++ {
+		line, err := readLine(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: reading dump line %d: %w", lineNo, err)
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(line, &ej); err != nil {
+			return nil, fmt.Errorf("obs: parsing dump line %d: %w", lineNo, err)
+		}
+		op, ok := trace.ParseOp(ej.Op)
+		if !ok {
+			return nil, fmt.Errorf("obs: dump line %d: unknown op %q", lineNo, ej.Op)
+		}
+		d.Events = append(d.Events, trace.Event{
+			T:    sim.Time(ej.T),
+			Op:   op,
+			Sw:   ej.Sw,
+			Port: ej.Port,
+			Kind: packet.Kind(ej.Kind),
+			QP:   packet.QPID(ej.QP),
+			PSN:  packet.NewPSN(ej.PSN),
+			Src:  packet.NodeID(ej.Src),
+			Dst:  packet.NodeID(ej.Dst),
+		})
+	}
+	return d, nil
+}
+
+// readLine reads one newline-terminated line of any length. A final unter-
+// minated line is returned with its content; a clean EOF returns io.EOF.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if len(line) == 0 && err != nil {
+		return nil, err
+	}
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	return line, nil
+}

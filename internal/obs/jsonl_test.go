@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/trace"
+)
+
+func sampleEvents() []trace.Event {
+	return []trace.Event{
+		{T: 0, Op: trace.HostTx, Sw: -1, Port: -1, Kind: packet.Data, QP: 1, PSN: packet.NewPSN(0), Src: 0, Dst: 4},
+		{T: 1000, Op: trace.Spray, Sw: 0, Port: 2, Kind: packet.Data, QP: 1, PSN: packet.NewPSN(0), Src: 0, Dst: 4},
+		{T: 2000, Op: trace.Drop, Sw: 2, Port: 1, Kind: packet.Data, QP: 1, PSN: packet.NewPSN(0), Src: 0, Dst: 4},
+		{T: 3000, Op: trace.NackBlocked, Sw: 1, Port: -1, Kind: packet.Nack, QP: 1, PSN: packet.NewPSN(0), Src: 4, Dst: 0},
+		{T: 4000, Op: trace.FaultLinkDown, Sw: 0, Port: 3},
+		{T: 5000, Op: trace.Deliver, Sw: -1, Port: -1, Kind: packet.Data, QP: 1, PSN: packet.NewPSN(0), Src: 0, Dst: 4},
+	}
+}
+
+func sampleDump() *Dump {
+	tr := trace.New(64)
+	for _, ev := range sampleEvents() {
+		tr.Record(ev)
+	}
+	return NewDump("unit", 42, tr, []string{"example violation"})
+}
+
+func TestJSONLRoundTripByteIdentical(t *testing.T) {
+	d := sampleDump()
+	var first bytes.Buffer
+	if err := WriteJSONL(&first, d); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var second bytes.Buffer
+	if err := WriteJSONL(&second, back); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+	if back.Label != d.Label || back.Seed != d.Seed || back.Total != d.Total {
+		t.Fatalf("metadata changed: got %+v want %+v", back, d)
+	}
+	if len(back.Events) != len(d.Events) {
+		t.Fatalf("event count changed: got %d want %d", len(back.Events), len(d.Events))
+	}
+	for i := range back.Events {
+		if back.Events[i] != d.Events[i] {
+			t.Fatalf("event %d changed: got %+v want %+v", i, back.Events[i], d.Events[i])
+		}
+	}
+}
+
+func TestJSONLHeaderFirstLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleDump()); err != nil {
+		t.Fatal(err)
+	}
+	firstLine, _, _ := strings.Cut(buf.String(), "\n")
+	if !strings.HasPrefix(firstLine, `{"schema":"themis-trace","version":1,`) {
+		t.Fatalf("unexpected header line: %s", firstLine)
+	}
+}
+
+func TestTruncatedReflectsEviction(t *testing.T) {
+	tr := trace.New(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(trace.Event{T: sim.Time(i), Op: trace.HostTx, Sw: -1, Port: -1, QP: 1})
+	}
+	d := NewDump("trunc", 0, tr, nil)
+	if !d.Truncated() {
+		t.Fatalf("dump of overflowed ring should be truncated (total=%d retained=%d)", d.Total, len(d.Events))
+	}
+	if sampleDump().Truncated() {
+		t.Fatal("dump of non-overflowed ring should not be truncated")
+	}
+}
+
+func TestNewDumpNilTracer(t *testing.T) {
+	d := NewDump("nil", 7, nil, nil)
+	if d.Total != 0 || len(d.Events) != 0 || d.Truncated() {
+		t.Fatalf("nil-tracer dump should be empty: %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, d); err != nil {
+		t.Fatalf("write empty dump: %v", err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read empty dump: %v", err)
+	}
+	if len(back.Events) != 0 || back.Label != "nil" || back.Seed != 7 {
+		t.Fatalf("empty dump changed: %+v", back)
+	}
+}
+
+func TestReadJSONLRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"not json":   "hello world\n",
+		"wrong name": `{"schema":"other","version":1,"label":"","seed":0,"total":0,"retained":0}` + "\n",
+		"wrong vsn":  `{"schema":"themis-trace","version":2,"label":"","seed":0,"total":0,"retained":0}` + "\n",
+		"bad event":  `{"schema":"themis-trace","version":1,"label":"","seed":0,"total":1,"retained":1}` + "\nnope\n",
+		"unknown op": `{"schema":"themis-trace","version":1,"label":"","seed":0,"total":1,"retained":1}` + "\n" + `{"t":0,"op":"warp","sw":0,"port":0,"kind":0,"qp":0,"psn":0,"src":0,"dst":0}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestReadJSONLUnterminatedLastLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleDump()); err != nil {
+		t.Fatal(err)
+	}
+	clipped := strings.TrimSuffix(buf.String(), "\n")
+	back, err := ReadJSONL(strings.NewReader(clipped))
+	if err != nil {
+		t.Fatalf("unterminated last line should parse: %v", err)
+	}
+	if len(back.Events) != len(sampleEvents()) {
+		t.Fatalf("lost events on unterminated input: got %d want %d", len(back.Events), len(sampleEvents()))
+	}
+}

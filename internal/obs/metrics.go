@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"sort"
+
+	"themis/internal/stats"
+)
+
+// Registry is a per-trial metrics registry. Components register instruments
+// by name at construction time; the harness snapshots the registry into the
+// trial record after the run. The registry is deliberately pull-oriented:
+// gauge callbacks read the counter blocks components already maintain, so
+// enabling metrics adds no per-event work to the simulation hot path at all —
+// values are materialized once, at Snapshot time.
+//
+// All methods are nil-safe: a nil *Registry returns nil instruments (whose
+// methods are also nil-safe no-ops), so instrumented code carries no guards
+// and disabled metrics cost one predictable branch per observation.
+//
+// The registry is not safe for concurrent use; like the packet pool, each
+// parallel trial owns its own instance.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string][]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string][]func() float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Instances
+// asking for the same name share one counter (e.g. every NIC incrementing
+// "rnic.messages"). Nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// GaugeFunc registers a gauge callback under name. Gauges are additive:
+// multiple callbacks under one name (e.g. one per ToR) are summed at
+// Snapshot time, which is how per-instance counter blocks aggregate to
+// cluster-wide metrics without any hot-path cost. No-op on nil.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.gauges[name] = append(r.gauges[name], fn)
+}
+
+// Histogram returns the named histogram, creating it on first use; same
+// sharing semantics as Counter. Nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc adds one. Safe on nil.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n. Safe on nil.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Histogram accumulates samples and digests them into percentiles at
+// Snapshot time (via stats.Percentile).
+type Histogram struct {
+	name    string
+	samples []float64
+}
+
+// Observe records one sample. Safe on nil.
+func (h *Histogram) Observe(v float64) {
+	if h != nil {
+		h.samples = append(h.samples, v)
+	}
+}
+
+// Count returns the number of samples observed (0 on nil).
+func (h *Histogram) Count() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.samples)
+}
+
+// MetricValue is one named scalar in a snapshot.
+type MetricValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one digested histogram in a snapshot.
+type HistogramValue struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot is the materialized state of a registry: every instrument,
+// sorted by name, with gauge callbacks evaluated and histograms digested.
+// Fixed field order and sorted names keep the JSON form byte-identical for
+// identical runs (the report artifacts depend on this).
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters,omitempty"`
+	Gauges     []MetricValue    `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot materializes the registry. Nil registry yields nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	// Map iteration order is irrelevant here: the slices are sorted by name
+	// before the snapshot is returned.
+	for _, c := range r.counters { //lint:ordered
+		s.Counters = append(s.Counters, MetricValue{Name: c.name, Value: float64(c.v)})
+	}
+	for name, fns := range r.gauges { //lint:ordered
+		sum := 0.0
+		for _, fn := range fns {
+			sum += fn()
+		}
+		s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: sum})
+	}
+	for _, h := range r.hists { //lint:ordered
+		hv := HistogramValue{Name: h.name, Count: len(h.samples)}
+		if len(h.samples) > 0 {
+			hv.Mean = stats.Mean(h.samples)
+			hv.P50 = stats.Percentile(h.samples, 50)
+			hv.P90 = stats.Percentile(h.samples, 90)
+			hv.P99 = stats.Percentile(h.samples, 99)
+			hv.Max = stats.Percentile(h.samples, 100)
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Lookup returns the snapshot value of a named counter or gauge (gauges take
+// precedence), with ok reporting whether the name exists. Convenience for
+// tests and tools; nil-safe.
+func (s *Snapshot) Lookup(name string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"themis/internal/packet"
+	"themis/internal/trace"
+)
+
+// Timeline is one flow's reconstructed history: every traced event of a QP,
+// joined into an ordered per-PSN ledger. NACK-family events (NackBlocked,
+// NackForwarded, Compensate) carry the ePSN in their PSN field, so they land
+// in the ledger entry of the packet whose fate they decide — which is exactly
+// the join needed to answer "why was this NACK blocked?".
+type Timeline struct {
+	QP packet.QPID
+	// Entries holds one ledger per PSN, in order of first appearance
+	// (events arrive oldest-first, so this is time order).
+	Entries []*PSNLedger
+	// Events are all packet events of the flow, oldest first.
+	Events []trace.Event
+	// Truncated records that the source ring evicted events before the dump
+	// was taken; invariant checks that need the evicted prefix are skipped.
+	Truncated bool
+
+	byPSN map[uint32]*PSNLedger
+}
+
+// PSNLedger is the ordered event history of one sequence number.
+type PSNLedger struct {
+	PSN    packet.PSN
+	Events []trace.Event
+}
+
+// FlowTimeline reconstructs the timeline of qp from a trace event stream
+// (oldest first, as Tracer.Events returns). Fault events carry no flow
+// fields and are excluded.
+func FlowTimeline(events []trace.Event, qp packet.QPID) *Timeline {
+	tl := &Timeline{QP: qp, byPSN: make(map[uint32]*PSNLedger)}
+	for _, ev := range events {
+		if ev.Op.IsFault() || ev.QP != qp {
+			continue
+		}
+		tl.Events = append(tl.Events, ev)
+		key := ev.PSN.Uint32()
+		entry, ok := tl.byPSN[key]
+		if !ok {
+			entry = &PSNLedger{PSN: ev.PSN}
+			tl.byPSN[key] = entry
+			tl.Entries = append(tl.Entries, entry)
+		}
+		entry.Events = append(entry.Events, ev)
+	}
+	return tl
+}
+
+// TimelineFromDump reconstructs qp's timeline from an imported dump,
+// propagating the dump's truncation state into the invariant checks.
+func TimelineFromDump(d *Dump, qp packet.QPID) *Timeline {
+	tl := FlowTimeline(d.Events, qp)
+	tl.Truncated = d.Truncated()
+	return tl
+}
+
+// Entry returns the ledger of one PSN (nil when the flow never saw it).
+func (tl *Timeline) Entry(psn packet.PSN) *PSNLedger {
+	return tl.byPSN[psn.Uint32()]
+}
+
+// QPs returns the distinct flows present in an event stream, ascending.
+func QPs(events []trace.Event) []packet.QPID {
+	seen := make(map[packet.QPID]bool)
+	var out []packet.QPID
+	for _, ev := range events {
+		if ev.Op.IsFault() || seen[ev.QP] {
+			continue
+		}
+		seen[ev.QP] = true
+		out = append(out, ev.QP)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CheckInvariants audits the flow's loss-recovery ledger — the executable
+// form of the paper's §3 correctness argument. It returns human-readable
+// violations (empty slice = ledger closed):
+//
+//  1. Recovery: every Drop of a data PSN is eventually followed by a
+//     retransmission (HostTx) and a Deliver of that PSN. A dropped packet
+//     that is never redelivered means the NACK/RTO recovery machinery lost
+//     track of it.
+//  2. No Deliver-gap: every data PSN the host ever transmitted is delivered
+//     at least once by the end of the trace — the flow cannot have completed
+//     (cumulative ACK) around a hole.
+//  3. Compensation provenance: every Compensate was preceded by a
+//     NackBlocked for the same ePSN — Themis-D may only synthesize a NACK
+//     to stand in for one it previously suppressed (§3.4).
+//
+// Checks 1 and 2 are sound even on a truncated ring: eviction removes the
+// oldest events, so an event in the window retains everything after it.
+// Check 3 needs the evicted prefix (the NackBlocked precedes the
+// Compensate) and is skipped when the timeline is truncated.
+func (tl *Timeline) CheckInvariants() []string {
+	var v []string
+	for _, entry := range tl.Entries {
+		v = append(v, entry.checkRecovery(tl.QP)...)
+		if !tl.Truncated {
+			v = append(v, entry.checkCompensation(tl.QP)...)
+		}
+	}
+	return v
+}
+
+// checkRecovery enforces invariants 1 and 2 on one ledger entry.
+func (e *PSNLedger) checkRecovery(qp packet.QPID) []string {
+	var v []string
+	// Invariant 1: after the last data Drop there must be a HostTx
+	// (the retransmission) and then a Deliver.
+	lastDrop := -1
+	for i, ev := range e.Events {
+		if ev.Op == trace.Drop && ev.Kind == packet.Data {
+			lastDrop = i
+		}
+	}
+	if lastDrop >= 0 {
+		retx, delivered := false, false
+		for _, ev := range e.Events[lastDrop+1:] {
+			if ev.Kind != packet.Data {
+				continue
+			}
+			switch ev.Op {
+			case trace.HostTx:
+				retx = true
+			case trace.Deliver:
+				if retx {
+					delivered = true
+				}
+			}
+		}
+		if !delivered {
+			v = append(v, fmt.Sprintf("qp %d psn %d: data drop at %v never recovered (no retransmit+deliver after it)",
+				qp, e.PSN, e.Events[lastDrop].T))
+		}
+		return v
+	}
+	// Invariant 2: a transmitted data PSN that was never dropped must have
+	// been delivered. (A dropped one is covered by invariant 1.)
+	sent, delivered := false, false
+	for _, ev := range e.Events {
+		if ev.Kind != packet.Data {
+			continue
+		}
+		switch ev.Op {
+		case trace.HostTx:
+			sent = true
+		case trace.Deliver:
+			delivered = true
+		}
+	}
+	if sent && !delivered {
+		v = append(v, fmt.Sprintf("qp %d psn %d: transmitted but never delivered (deliver-gap)", qp, e.PSN))
+	}
+	return v
+}
+
+// checkCompensation enforces invariant 3 on one ledger entry.
+func (e *PSNLedger) checkCompensation(qp packet.QPID) []string {
+	var v []string
+	blocked := false
+	for _, ev := range e.Events {
+		switch ev.Op {
+		case trace.NackBlocked:
+			blocked = true
+		case trace.Compensate:
+			if !blocked {
+				v = append(v, fmt.Sprintf("qp %d psn %d: compensation at %v without a prior blocked NACK for this ePSN",
+					qp, e.PSN, ev.T))
+			}
+		}
+	}
+	return v
+}
+
+// ExplainNACK narrates the verdict history of one ePSN: which NACKs
+// Themis-D saw for it, what it decided, and how the decision resolved.
+// This is the "why was this NACK blocked?" answer, rendered from the ledger.
+func (tl *Timeline) ExplainNACK(psn packet.PSN) string {
+	entry := tl.Entry(psn)
+	if entry == nil {
+		return fmt.Sprintf("qp %d psn %d: no recorded events\n", tl.QP, psn)
+	}
+	out := fmt.Sprintf("qp %d psn %d verdict history:\n", tl.QP, psn)
+	verdicts := 0
+	for _, ev := range entry.Events {
+		switch ev.Op {
+		case trace.NackBlocked:
+			verdicts++
+			out += fmt.Sprintf("  %12.3fus NACK(ePSN=%d) BLOCKED at sw%d: tPSN-ePSN not a multiple of N (Eq. 3) — arrival reordered, not lost\n",
+				ev.T.Microseconds(), psn, ev.Sw)
+		case trace.NackForwarded:
+			verdicts++
+			out += fmt.Sprintf("  %12.3fus NACK(ePSN=%d) FORWARDED at sw%d: same-path successor seen — genuine loss signal\n",
+				ev.T.Microseconds(), psn, ev.Sw)
+		case trace.Compensate:
+			verdicts++
+			out += fmt.Sprintf("  %12.3fus COMPENSATION generated at sw%d: a later same-path packet arrived, so the blocked NACK stood for a real loss (§3.4)\n",
+				ev.T.Microseconds(), ev.Sw)
+		case trace.Drop:
+			out += fmt.Sprintf("  %12.3fus %s dropped at sw%d\n", ev.T.Microseconds(), ev.Kind, ev.Sw)
+		case trace.Deliver:
+			if ev.Kind == packet.Data {
+				out += fmt.Sprintf("  %12.3fus data PSN %d delivered\n", ev.T.Microseconds(), psn)
+			}
+		}
+	}
+	if verdicts == 0 {
+		out += "  (no Themis-D verdict recorded for this PSN)\n"
+	}
+	return out
+}
+
+// Format writes the full per-PSN ledger, one section per sequence number in
+// first-appearance order — the human-readable companion of the JSONL dump.
+func (tl *Timeline) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "flow qp=%d: %d events over %d PSNs\n", tl.QP, len(tl.Events), len(tl.Entries)); err != nil {
+		return err
+	}
+	for _, entry := range tl.Entries {
+		if _, err := fmt.Fprintf(w, "psn %d:\n", entry.PSN); err != nil {
+			return err
+		}
+		for _, ev := range entry.Events {
+			if _, err := fmt.Fprintf(w, "  %s\n", ev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/trace"
+)
+
+func simTime(t int64) sim.Time { return sim.Time(t) }
+
+func ev(t int64, op trace.Op, kind packet.Kind, qp packet.QPID, psn uint32) trace.Event {
+	return trace.Event{T: simTime(t), Op: op, Sw: 0, Port: 0, Kind: kind, QP: qp, PSN: packet.NewPSN(psn), Src: 0, Dst: 4}
+}
+
+func TestFlowTimelineJoinsPerPSN(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.HostTx, packet.Data, 1, 0),
+		ev(1, trace.HostTx, packet.Data, 1, 1),
+		ev(2, trace.HostTx, packet.Data, 2, 0), // other flow
+		{T: simTime(3), Op: trace.FaultLinkDown, Sw: 0, Port: 1},
+		ev(4, trace.Deliver, packet.Data, 1, 0),
+		ev(5, trace.Deliver, packet.Data, 1, 1),
+	}
+	tl := FlowTimeline(events, 1)
+	if len(tl.Events) != 4 {
+		t.Fatalf("flow events: got %d want 4 (other-QP and fault events excluded)", len(tl.Events))
+	}
+	if len(tl.Entries) != 2 {
+		t.Fatalf("PSN entries: got %d want 2", len(tl.Entries))
+	}
+	if tl.Entries[0].PSN.Uint32() != 0 || tl.Entries[1].PSN.Uint32() != 1 {
+		t.Fatalf("entries not in first-appearance order: %v, %v", tl.Entries[0].PSN, tl.Entries[1].PSN)
+	}
+	if e := tl.Entry(packet.NewPSN(1)); e == nil || len(e.Events) != 2 {
+		t.Fatalf("psn 1 ledger wrong: %+v", e)
+	}
+	if tl.Entry(packet.NewPSN(9)) != nil {
+		t.Fatal("unseen PSN should have no entry")
+	}
+}
+
+func TestQPsHelper(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.HostTx, packet.Data, 3, 0),
+		ev(1, trace.HostTx, packet.Data, 1, 0),
+		{T: simTime(2), Op: trace.FaultReset, Sw: 1, Port: -1}, // QP field is zero; must not appear
+		ev(3, trace.HostTx, packet.Data, 3, 1),
+	}
+	qps := QPs(events)
+	if len(qps) != 2 || qps[0] != 1 || qps[1] != 3 {
+		t.Fatalf("QPs: got %v want [1 3]", qps)
+	}
+}
+
+func TestInvariantsCleanFlow(t *testing.T) {
+	// Drop of PSN 1, then a NACK verdict, retransmit, and delivery: ledger closes.
+	events := []trace.Event{
+		ev(0, trace.HostTx, packet.Data, 1, 0),
+		ev(1, trace.HostTx, packet.Data, 1, 1),
+		ev(2, trace.Deliver, packet.Data, 1, 0),
+		ev(3, trace.Drop, packet.Data, 1, 1),
+		ev(4, trace.NackBlocked, packet.Nack, 1, 1),
+		ev(5, trace.Compensate, packet.Nack, 1, 1),
+		ev(6, trace.HostTx, packet.Data, 1, 1),
+		ev(7, trace.Deliver, packet.Data, 1, 1),
+	}
+	tl := FlowTimeline(events, 1)
+	if v := tl.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("clean flow should pass, got violations: %v", v)
+	}
+}
+
+func TestInvariantDropNeverRecovered(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.HostTx, packet.Data, 1, 0),
+		ev(1, trace.Drop, packet.Data, 1, 0),
+	}
+	v := FlowTimeline(events, 1).CheckInvariants()
+	if len(v) != 1 || !strings.Contains(v[0], "never recovered") {
+		t.Fatalf("want one never-recovered violation, got %v", v)
+	}
+
+	// Retransmit without delivery is still a violation.
+	events = append(events, ev(2, trace.HostTx, packet.Data, 1, 0))
+	v = FlowTimeline(events, 1).CheckInvariants()
+	if len(v) != 1 || !strings.Contains(v[0], "never recovered") {
+		t.Fatalf("retransmit without deliver should still violate, got %v", v)
+	}
+
+	// Delivery closes the ledger.
+	events = append(events, ev(3, trace.Deliver, packet.Data, 1, 0))
+	if v := FlowTimeline(events, 1).CheckInvariants(); len(v) != 0 {
+		t.Fatalf("recovered drop should pass, got %v", v)
+	}
+}
+
+func TestInvariantDeliverGap(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.HostTx, packet.Data, 1, 0),
+		ev(1, trace.HostTx, packet.Data, 1, 1),
+		ev(2, trace.Deliver, packet.Data, 1, 1),
+	}
+	v := FlowTimeline(events, 1).CheckInvariants()
+	if len(v) != 1 || !strings.Contains(v[0], "deliver-gap") {
+		t.Fatalf("want one deliver-gap violation, got %v", v)
+	}
+}
+
+func TestInvariantCompensateWithoutBlock(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.HostTx, packet.Data, 1, 0),
+		ev(1, trace.Drop, packet.Data, 1, 0),
+		ev(2, trace.Compensate, packet.Nack, 1, 0),
+		ev(3, trace.HostTx, packet.Data, 1, 0),
+		ev(4, trace.Deliver, packet.Data, 1, 0),
+	}
+	tl := FlowTimeline(events, 1)
+	v := tl.CheckInvariants()
+	if len(v) != 1 || !strings.Contains(v[0], "without a prior blocked NACK") {
+		t.Fatalf("want one compensation-provenance violation, got %v", v)
+	}
+
+	// On a truncated dump the blocked NACK may have been evicted: skip check 3.
+	tl.Truncated = true
+	if v := tl.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("truncated timeline should skip compensation check, got %v", v)
+	}
+}
+
+func TestTimelineFromDumpPropagatesTruncation(t *testing.T) {
+	tr := trace.New(2)
+	for _, e := range []trace.Event{
+		ev(0, trace.HostTx, packet.Data, 1, 0),
+		ev(1, trace.Compensate, packet.Nack, 1, 0),
+		ev(2, trace.HostTx, packet.Data, 1, 0),
+		ev(3, trace.Deliver, packet.Data, 1, 0),
+	} {
+		tr.Record(e)
+	}
+	d := NewDump("trunc", 0, tr, nil)
+	tl := TimelineFromDump(d, 1)
+	if !tl.Truncated {
+		t.Fatal("timeline should inherit dump truncation")
+	}
+}
+
+func TestExplainNACK(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.HostTx, packet.Data, 1, 5),
+		ev(1, trace.Drop, packet.Data, 1, 5),
+		ev(2, trace.NackBlocked, packet.Nack, 1, 5),
+		ev(3, trace.Compensate, packet.Nack, 1, 5),
+		ev(4, trace.HostTx, packet.Data, 1, 5),
+		ev(5, trace.Deliver, packet.Data, 1, 5),
+	}
+	tl := FlowTimeline(events, 1)
+	got := tl.ExplainNACK(packet.NewPSN(5))
+	for _, want := range []string{"BLOCKED", "COMPENSATION", "dropped", "delivered"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ExplainNACK missing %q:\n%s", want, got)
+		}
+	}
+	if got := tl.ExplainNACK(packet.NewPSN(99)); !strings.Contains(got, "no recorded events") {
+		t.Errorf("unseen PSN: %s", got)
+	}
+	forwarded := FlowTimeline([]trace.Event{ev(0, trace.NackForwarded, packet.Nack, 1, 2)}, 1)
+	if got := forwarded.ExplainNACK(packet.NewPSN(2)); !strings.Contains(got, "FORWARDED") {
+		t.Errorf("forwarded verdict missing:\n%s", got)
+	}
+	if got := tl.ExplainNACK(packet.NewPSN(5)); strings.Contains(got, "no Themis-D verdict") {
+		t.Errorf("flow with verdicts should not print the no-verdict note")
+	}
+}
+
+func TestTimelineFormat(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.HostTx, packet.Data, 1, 0),
+		ev(1, trace.Deliver, packet.Data, 1, 0),
+	}
+	var b strings.Builder
+	if err := FlowTimeline(events, 1).Format(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "flow qp=1: 2 events over 1 PSNs") || !strings.Contains(out, "psn 0:") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}

@@ -1,0 +1,85 @@
+package packet
+
+import "testing"
+
+// FuzzPSNCompare checks the RFC 1982 comparison laws over the whole 24-bit
+// space, wrap point included: ordering is irreflexive and antisymmetric,
+// Diff agrees with Before/After, and Add inverts Diff.
+func FuzzPSNCompare(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(psnMask), uint32(0))             // wrap boundary
+	f.Add(uint32(psnHalf), uint32(0))             // antipodal (undefined order)
+	f.Add(uint32(123456), uint32(psnMask-17))     // generic far pair
+	f.Add(uint32(0xFFFFFFFF), uint32(0x01000000)) // raw values above 24 bits
+	f.Fuzz(func(t *testing.T, a, b uint32) {
+		p, q := NewPSN(a), NewPSN(b)
+		if p == q && (p.Before(q) || p.After(q)) {
+			t.Fatalf("equal PSN %d compares ordered", p)
+		}
+		if p.Before(q) && q.Before(p) {
+			t.Fatalf("Before not antisymmetric: %d vs %d", p, q)
+		}
+		d := p.Diff(q)
+		if d < -psnHalf || d >= psnHalf {
+			t.Fatalf("Diff(%d,%d) = %d outside [-2^23, 2^23)", p, q, d)
+		}
+		switch {
+		case d == 0:
+			if p != q {
+				t.Fatalf("Diff = 0 for distinct PSNs %d, %d", p, q)
+			}
+		case d == -psnHalf:
+			// RFC 1982 leaves the antipodal pair unordered.
+			if p.Before(q) || p.After(q) {
+				t.Fatalf("antipodal PSNs %d, %d compare ordered", p, q)
+			}
+		case d > 0:
+			if !p.After(q) || p.Before(q) {
+				t.Fatalf("Diff = %d but After(%d,%d) = %t", d, p, q, p.After(q))
+			}
+		default:
+			if !p.Before(q) || p.After(q) {
+				t.Fatalf("Diff = %d but Before(%d,%d) = %t", d, p, q, p.Before(q))
+			}
+		}
+		// The signed distance shifts q back onto p.
+		if got := q.Add(int(d)); got != p {
+			t.Fatalf("q.Add(p.Diff(q)) = %d, want %d", got, p)
+		}
+	})
+}
+
+// FuzzPSNAdd checks the wraparound shift: results stay in the 24-bit space,
+// the shift is invertible and congruent to modular addition, and Add(1)
+// matches Next.
+func FuzzPSNAdd(f *testing.F) {
+	f.Add(uint32(0), int32(1))
+	f.Add(uint32(psnMask), int32(1)) // wrap forward
+	f.Add(uint32(0), int32(-1))      // wrap backward
+	f.Add(uint32(42), int32(-1<<24)) // full-cycle shift
+	f.Add(uint32(0x00ABCDEF), int32(-2147483648))
+	f.Fuzz(func(t *testing.T, v uint32, n int32) {
+		p := NewPSN(v)
+		got := p.Add(int(n))
+		if uint32(got) != got.Uint32() {
+			t.Fatalf("Add left bits above 2^24: %#x", uint32(got))
+		}
+		if p.Add(0) != p {
+			t.Fatalf("Add(0) moved %d to %d", p, p.Add(0))
+		}
+		if back := got.Add(-int(n)); back != p {
+			t.Fatalf("Add(%d) then Add(%d): %d, want %d", n, -n, back, p)
+		}
+		if p.Add(1) != p.Next() {
+			t.Fatalf("Add(1) = %d disagrees with Next() = %d", p.Add(1), p.Next())
+		}
+		// got - p ≡ n (mod 2^24).
+		rem := (int64(uint32(got)) - int64(uint32(p)) - int64(n)) % psnMod
+		if rem < 0 {
+			rem += psnMod
+		}
+		if rem != 0 {
+			t.Fatalf("Add(%d) on %d: got %d, not congruent mod 2^24", n, p, got)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"themis/internal/cc"
+	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/sim"
 )
@@ -95,6 +96,12 @@ type Config struct {
 	// from. Share it with fabric.Config.Pool so delivered packets recycle
 	// back. Nil allocates normally.
 	Pool *packet.Pool
+	// Metrics, if non-nil, exposes this NIC's sender counters as additive
+	// "rnic.*" gauges and feeds message completion latencies into the shared
+	// "rnic.message_complete_us" histogram. Share one registry across all
+	// NICs for cluster totals. Gauges are pull-based (zero hot-path cost);
+	// the histogram costs one nil-check per message completion when disabled.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -135,12 +142,16 @@ type NIC struct {
 
 	senders   map[packet.QPID]*SenderQP
 	receivers map[packet.QPID]*ReceiverQP
+
+	// msgHist receives message completion latencies (nil when metrics are
+	// off; Observe on a nil histogram is a no-op).
+	msgHist *obs.Histogram
 }
 
 // New creates a NIC for host id. inject transmits a packet onto the host's
 // access link (normally fabric.Network.Inject bound to the host).
 func New(engine *sim.Engine, id packet.NodeID, cfg Config, inject func(*packet.Packet)) *NIC {
-	return &NIC{
+	n := &NIC{
 		engine:    engine,
 		id:        id,
 		cfg:       cfg.withDefaults(),
@@ -148,6 +159,33 @@ func New(engine *sim.Engine, id packet.NodeID, cfg Config, inject func(*packet.P
 		senders:   make(map[packet.QPID]*SenderQP),
 		receivers: make(map[packet.QPID]*ReceiverQP),
 	}
+	n.registerMetrics(cfg.Metrics)
+	return n
+}
+
+// registerMetrics exposes the NIC's aggregate sender counters as additive
+// gauges; no-op on a nil registry. The closures sum over sender QPs only at
+// Snapshot time, so the per-packet cost of enabled metrics is still zero.
+func (n *NIC) registerMetrics(r *obs.Registry) {
+	n.msgHist = r.Histogram("rnic.message_complete_us")
+	sum := func(field func(*SenderStats) uint64) func() float64 {
+		return func() float64 {
+			var total uint64
+			// Summation is commutative; iteration order cannot leak.
+			for _, s := range n.senders { //lint:ordered
+				total += field(&s.stats)
+			}
+			return float64(total)
+		}
+	}
+	r.GaugeFunc("rnic.data_packets", sum(func(s *SenderStats) uint64 { return s.DataPackets }))
+	r.GaugeFunc("rnic.retransmits", sum(func(s *SenderStats) uint64 { return s.Retransmits }))
+	r.GaugeFunc("rnic.goodput_bytes", sum(func(s *SenderStats) uint64 { return s.GoodputBytes }))
+	r.GaugeFunc("rnic.acks_rx", sum(func(s *SenderStats) uint64 { return s.AcksRx }))
+	r.GaugeFunc("rnic.nacks_rx", sum(func(s *SenderStats) uint64 { return s.NacksRx }))
+	r.GaugeFunc("rnic.cnps_rx", sum(func(s *SenderStats) uint64 { return s.CnpsRx }))
+	r.GaugeFunc("rnic.timeouts", sum(func(s *SenderStats) uint64 { return s.Timeouts }))
+	r.GaugeFunc("rnic.completions", sum(func(s *SenderStats) uint64 { return s.Completions }))
 }
 
 // ID returns the host NodeID.

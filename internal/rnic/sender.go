@@ -21,9 +21,10 @@ type SenderStats struct {
 
 // message tracks one posted send.
 type message struct {
-	endPSN packet.PSN // PSN one past the last packet of the message
-	size   int64
-	done   func()
+	endPSN   packet.PSN // PSN one past the last packet of the message
+	size     int64
+	postedAt sim.Time
+	done     func()
 }
 
 // SenderQP is the send half of a queue pair: packetization, rate pacing,
@@ -139,7 +140,9 @@ func (s *SenderQP) SendMessage(size int64, done func()) {
 		s.lastSize[endPSN.Add(-1)] = tail
 	}
 	s.nextPSN = endPSN
-	s.messages = append(s.messages, message{endPSN: endPSN, size: size, done: done})
+	s.messages = append(s.messages, message{
+		endPSN: endPSN, size: size, postedAt: s.nic.engine.Now(), done: done,
+	})
 	s.pump()
 }
 
@@ -348,6 +351,7 @@ func (s *SenderQP) advanceCumAck(epsn packet.PSN) {
 		m := s.messages[0]
 		s.messages = s.messages[1:]
 		s.stats.Completions++
+		s.nic.msgHist.Observe(now.Sub(m.postedAt).Microseconds())
 		if s.OnComplete != nil {
 			s.OnComplete(now, m.size)
 		}

@@ -88,6 +88,36 @@ func (o Op) String() string {
 	}
 }
 
+// IsFault reports whether the op is a fault event (no packet fields).
+func (o Op) IsFault() bool { return o >= FaultLinkDown && o < lastOp }
+
+// ParseOp is the inverse of Op.String: it resolves a mnemonic (or the
+// "Op(N)" fallback form String produces for out-of-range values) back to the
+// Op. The JSONL trace importer relies on ParseOp(op.String()) == op holding
+// for every possible Op byte, which FuzzTraceRoundTrip exercises.
+func ParseOp(s string) (Op, bool) {
+	for op := HostTx; op < lastOp; op++ {
+		if s == op.String() {
+			return op, true
+		}
+	}
+	var n uint8
+	if _, err := fmt.Sscanf(s, "Op(%d)", &n); err == nil && fmt.Sprintf("Op(%d)", n) == s {
+		return Op(n), true
+	}
+	return 0, false
+}
+
+// Ops returns every defined operation, in declaration order — the iteration
+// surface for exhaustiveness checks and per-op summaries.
+func Ops() []Op {
+	out := make([]Op, 0, int(lastOp))
+	for op := HostTx; op < lastOp; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
 // Event is one recorded occurrence. Packet fields are copied, not
 // referenced, so events stay valid after the packet is recycled.
 type Event struct {
@@ -112,7 +142,7 @@ func (e Event) String() string {
 			loc = fmt.Sprintf("sw%d", e.Sw)
 		}
 	}
-	if e.Op >= FaultLinkDown && e.Op < lastOp {
+	if e.Op.IsFault() {
 		// Fault events carry no packet fields.
 		return fmt.Sprintf("%12.3fus %-12s %-8s", e.T.Microseconds(), e.Op, loc)
 	}

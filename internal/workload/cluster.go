@@ -22,6 +22,7 @@ import (
 	"themis/internal/core"
 	"themis/internal/fabric"
 	"themis/internal/lb"
+	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/rnic"
 	"themis/internal/sim"
@@ -116,6 +117,11 @@ type ClusterConfig struct {
 	// Tracer, if non-nil, records packet and middleware events for
 	// debugging (see internal/trace).
 	Tracer *trace.Tracer
+
+	// Metrics, if non-nil, is shared by every component of the cluster:
+	// fabric counters, per-NIC sender stats and per-ToR Themis verdicts all
+	// register on it as pull-based gauges (see internal/obs).
+	Metrics *obs.Registry
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -214,6 +220,7 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		NewDataSelector: cfg.selector(),
 		Tracer:          cfg.Tracer,
 		Pool:            pool,
+		Metrics:         cfg.Metrics,
 	}
 	if !cfg.DisableECN {
 		fcfg.ECN = fabric.DefaultECN(cfg.Bandwidth)
@@ -253,6 +260,7 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		AckEvery:   cfg.AckEvery,
 		BurstBytes: cfg.BurstBytes,
 		Pool:       pool,
+		Metrics:    cfg.Metrics,
 	}
 	ncfg.CC.LineRate = cfg.Bandwidth
 	ncfg.CC.TI = cfg.TI
@@ -268,6 +276,9 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.LB == Themis {
 		tcfg := cfg.ThemisCfg
 		tcfg.Pool = pool
+		if tcfg.Metrics == nil {
+			tcfg.Metrics = cfg.Metrics
+		}
 		if cfg.FatTreeK > 0 && tcfg.Mode == core.DirectSpray {
 			tcfg.Mode = core.PathMapSpray
 		}

@@ -6,9 +6,11 @@ import (
 	"themis/internal/collective"
 	"themis/internal/core"
 	"themis/internal/fabric"
+	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/rnic"
 	"themis/internal/sim"
+	"themis/internal/trace"
 )
 
 // CollectiveConfig parameterizes the §5 evaluation (Fig. 5): synchronized
@@ -47,6 +49,11 @@ type CollectiveConfig struct {
 	DropEveryNData int
 	// LinkFail, if non-nil, takes one switch port down mid-run (§5.3).
 	LinkFail *LinkFault
+	// Tracer, if non-nil, records packet and middleware events (observability
+	// harness; not part of the serialized scenario).
+	Tracer *trace.Tracer `json:"-"`
+	// Metrics, if non-nil, is the shared metrics registry (see internal/obs).
+	Metrics *obs.Registry `json:"-"`
 }
 
 // LinkFault declaratively describes a single link failure: switch Switch's
@@ -145,6 +152,8 @@ func RunCollective(cfg CollectiveConfig) (*CollectiveResult, error) {
 		LossyControl:   cfg.LossyControl,
 		ThemisCfg:      cfg.ThemisCfg,
 		DropEveryNData: cfg.DropEveryNData,
+		Tracer:         cfg.Tracer,
+		Metrics:        cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -3,8 +3,10 @@ package workload
 import (
 	"fmt"
 
+	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/sim"
+	"themis/internal/trace"
 )
 
 // IncastConfig parameterizes a many-to-one stress test: every other host
@@ -23,6 +25,10 @@ type IncastConfig struct {
 	LB           LBMode
 	DisablePFC   bool
 	Horizon      sim.Duration
+	// Tracer/Metrics hook up the observability harness (see internal/obs);
+	// not part of the serialized scenario.
+	Tracer  *trace.Tracer `json:"-"`
+	Metrics *obs.Registry `json:"-"`
 }
 
 func (c IncastConfig) withDefaults() IncastConfig {
@@ -73,6 +79,8 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 		BufferBytes:  cfg.BufferBytes,
 		LB:           cfg.LB,
 		DisablePFC:   cfg.DisablePFC,
+		Tracer:       cfg.Tracer,
+		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

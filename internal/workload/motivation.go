@@ -3,10 +3,12 @@ package workload
 import (
 	"fmt"
 
+	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/rnic"
 	"themis/internal/sim"
 	"themis/internal/stats"
+	"themis/internal/trace"
 )
 
 // MotivationConfig parameterizes the §2.2 motivation experiment (Fig. 1):
@@ -35,6 +37,10 @@ type MotivationConfig struct {
 	RTO        sim.Duration
 	RTOBackoff float64
 	RTOMax     sim.Duration
+	// Tracer/Metrics hook up the observability harness (see internal/obs);
+	// not part of the serialized scenario.
+	Tracer  *trace.Tracer `json:"-"`
+	Metrics *obs.Registry `json:"-"`
 }
 
 func (c MotivationConfig) withDefaults() MotivationConfig {
@@ -119,6 +125,8 @@ func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
 		RTO:          cfg.RTO,
 		RTOBackoff:   cfg.RTOBackoff,
 		RTOMax:       cfg.RTOMax,
+		Tracer:       cfg.Tracer,
+		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
