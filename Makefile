@@ -16,8 +16,9 @@ vet:
 	$(GO) vet ./...
 
 # themis-lint enforces simulation determinism (no wall clock, no global rand,
-# no map-order leaks into the event queue) and protocol invariants (no raw PSN
-# comparisons, no bare picosecond literals). Non-zero exit on any finding.
+# no map-order leaks into the event queue), protocol invariants (no raw PSN
+# comparisons, no bare picosecond literals), and hot-path complexity (no map
+# iteration reachable from TorPipeline methods). Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/themis-lint ./...
 
@@ -54,8 +55,10 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-smoke is the CI-sized sweep: a 2-seed miniature grid through the
-# parallel experiment runner, emitting the BENCH_smoke.json artifact. Gated
-# by themis-lint so a lint regression fails before any simulation time is
-# spent.
+# parallel experiment runner plus a 2-seed flow-churn grid exercising the
+# bounded flow table (budgeted-relearn / budgeted-ecmp / unbounded arms),
+# emitting the BENCH_smoke.json and BENCH_churn.json artifacts. Gated by
+# themis-lint so a lint regression fails before any simulation time is spent.
 bench-smoke: lint
 	$(GO) run ./cmd/themis-sim sweep -grid smoke -seeds 2 -parallel 2 -json BENCH_smoke.json
+	$(GO) run ./cmd/themis-sim sweep -grid churn -seeds 2 -parallel 2 -json BENCH_churn.json

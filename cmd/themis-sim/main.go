@@ -8,15 +8,21 @@
 //	    [-bytes N] [-ti us] [-td us] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-seed S]
 //	    One Fig. 5 cell: tail completion time of the slowest group.
 //
-//	themis-sim run [-workload motivation|collective|incast|chaos] [-lb ...] [-transport ...]
+//	themis-sim run [-workload motivation|collective|incast|chaos|churn] [-lb ...] [-transport ...]
 //	    [-pattern ...] [-bytes N] [-seed S] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-json out.json]
+//	    [-qps N] [-concurrency N] [-faults] [-table-budget BYTES] [-idle-timeout US] [-relearn]
 //	    [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
 //	    One declarative scenario through the experiment harness; prints the
 //	    trial record and optionally writes it as a JSON report. -metrics
 //	    snapshots the trial's metrics registry into the record; -flight-dir
-//	    arms a flight recorder that dumps a JSONL trace on failure.
+//	    arms a flight recorder that dumps a JSONL trace on failure. The churn
+//	    workload takes -qps/-concurrency (flow churn shape), -faults (seeded
+//	    ToR reboots + a link flap), and the lifecycle knobs: -table-budget
+//	    caps each instance's flow table at the §4 SRAM budget, -idle-timeout
+//	    evicts entries idle for that long, -relearn re-registers evicted
+//	    flows from live data packets.
 //
-//	themis-sim sweep [-grid fig5|fig1|smoke|chaos|queue-factor|path-subset|loss-recovery]
+//	themis-sim sweep [-grid fig5|fig1|smoke|chaos|churn|queue-factor|path-subset|loss-recovery]
 //	    [-pattern allreduce|alltoall] [-bytes N] [-seed S] [-seeds N] [-parallel N] [-json out.json]
 //	    [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
 //	    A scenario grid through the parallel runner (default: the full Fig. 5
@@ -240,10 +246,10 @@ func runCollective(args []string) error {
 
 func parseWorkload(s string) (exp.Workload, error) {
 	switch exp.Workload(s) {
-	case exp.Motivation, exp.Collective, exp.Incast, exp.Chaos:
+	case exp.Motivation, exp.Collective, exp.Incast, exp.Chaos, exp.Churn:
 		return exp.Workload(s), nil
 	default:
-		return "", fmt.Errorf("unknown workload %q (motivation|collective|incast|chaos)", s)
+		return "", fmt.Errorf("unknown workload %q (motivation|collective|incast|chaos|churn)", s)
 	}
 }
 
@@ -277,7 +283,7 @@ func printTrial(t exp.Trial) {
 
 func runScenario(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	wl := fs.String("workload", "collective", "workload: motivation|collective|incast|chaos")
+	wl := fs.String("workload", "collective", "workload: motivation|collective|incast|chaos|churn")
 	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall")
 	lbs := fs.String("lb", "themis", "load balancing arm")
 	transport := fs.String("transport", "nic-sr", "reliable transport: nic-sr|ideal|gbn")
@@ -287,6 +293,12 @@ func runScenario(args []string) error {
 	spines := fs.Int("spines", 0, "spine switches")
 	hosts := fs.Int("hosts", 0, "hosts per leaf")
 	bw := fs.Float64("bw", 0, "link bandwidth, Gbps")
+	qps := fs.Int("qps", 0, "churn: total flows opened over the run (0 = workload default)")
+	concurrency := fs.Int("concurrency", 0, "churn: flows open at a time (0 = workload default)")
+	faults := fs.Bool("faults", false, "churn: inject seeded ToR reboots and a link flap")
+	tableBudget := fs.Int("table-budget", 0, "flow-table budget per Themis instance, bytes (0 = unbounded)")
+	idleTimeout := fs.Int64("idle-timeout", 0, "evict flow-table entries idle this long, microseconds (0 = off)")
+	relearn := fs.Bool("relearn", false, "re-register evicted/lost flows from live data packets")
 	jsonOut := fs.String("json", "", "write the trial as a JSON report to this path")
 	metrics := fs.Bool("metrics", false, "snapshot the metrics registry into the trial record")
 	flightDir := fs.String("flight-dir", "", "arm a flight recorder; dump a JSONL trace here on failure")
@@ -316,7 +328,11 @@ func runScenario(args []string) error {
 		MessageBytes: *bytes,
 		Leaves:       *leaves, Spines: *spines, HostsPerLeaf: *hosts,
 		Bandwidth: int64(*bw * 1e9),
+		QPs:       *qps, Concurrency: *concurrency, Faults: *faults,
 	}
+	sc.Themis.TableBudgetBytes = *tableBudget
+	sc.Themis.IdleTimeout = sim.Duration(*idleTimeout) * sim.Microsecond
+	sc.Themis.Relearn = *relearn
 	if _, err := pf.start(); err != nil {
 		return err
 	}
@@ -354,7 +370,7 @@ func printSnapshot(s *obs.Snapshot) {
 
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	gridName := fs.String("grid", "fig5", "scenario grid: fig5|fig1|smoke|chaos|queue-factor|path-subset|loss-recovery")
+	gridName := fs.String("grid", "fig5", "scenario grid: fig5|fig1|smoke|chaos|churn|queue-factor|path-subset|loss-recovery")
 	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall (fig5)")
 	bytes := fs.Int64("bytes", 300<<20, "collective size per group (fig5) / message size (fig1)")
 	seed := fs.Int64("seed", 1, "random seed (first seed for multi-seed grids)")
@@ -389,6 +405,8 @@ func runSweep(args []string) error {
 		grid = exp.SmokeGrid(seedList...)
 	case "chaos":
 		grid = exp.ChaosGrid(*seed, *seeds)
+	case "churn":
+		grid = exp.ChurnGrid(*seed, *seeds)
 	case "queue-factor":
 		grid = exp.QueueFactorGrid(*seed, []float64{0.05, 0.2, 0.5, 1.5, 3.0})
 	case "path-subset":

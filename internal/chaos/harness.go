@@ -5,6 +5,7 @@ import (
 
 	"themis/internal/core"
 	"themis/internal/fabric"
+	"themis/internal/memmodel"
 	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/rnic"
@@ -77,10 +78,19 @@ type Result struct {
 
 // BuildCluster assembles the hardened cluster the harness runs scenarios
 // against: Themis with lazy state relearning, exponential RTO backoff on the
-// NICs, and a lossy control class so control-plane faults are injectable.
+// NICs, a lossy control class so control-plane faults are injectable, and a
+// finite (but roomy: 4 entries per flow) §4 flow-table budget so the soak
+// exercises real SRAM accounting — the budget invariant is meaningful, while
+// the steady workload itself never deserves an eviction.
 // Exported so the CLI and benchmarks run exactly what the soak tests run.
 func BuildCluster(sc Scenario, opt Options) (*workload.Cluster, error) {
 	opt = opt.withDefaults()
+	budget := core.TableBudget(memmodel.Params{
+		Bandwidth: opt.Bandwidth,
+		RTTLast:   2 * sim.Microsecond, // two 1 us last-hop links
+		MTU:       1500,
+		Factor:    1.5,
+	}, 4*opt.Flows)
 	return workload.BuildCluster(workload.ClusterConfig{
 		Seed:         sc.Seed,
 		Leaves:       opt.Leaves,
@@ -92,7 +102,7 @@ func BuildCluster(sc Scenario, opt Options) (*workload.Cluster, error) {
 		RTO:          200 * sim.Microsecond,
 		RTOBackoff:   2,
 		RTOMax:       10 * sim.Millisecond,
-		ThemisCfg:    core.Config{Relearn: true},
+		ThemisCfg:    core.Config{Relearn: true, TableBudgetBytes: budget},
 		Tracer:       opt.Tracer,
 		Metrics:      opt.Metrics,
 	})

@@ -21,11 +21,18 @@ import (
 //  5. Themis-D accounting is closed: every inspected NACK was either
 //     forwarded or blocked, and compensations never exceed blocked NACKs
 //     (a compensation exists only to stand in for a blocked-but-real loss).
+//  6. Flow-table occupancy never exceeds the configured §4 SRAM budget.
+//  7. Blocked NACKs are conserved: the fabric blocked exactly as many host
+//     control packets as the middleware's deliberate verdicts, proving that
+//     NACKs for evicted/unknown/rejected QPs were forwarded, never blocked.
+//  8. No armed compensation survives once every transfer completed: each
+//     resolved as cancelled (BePSN arrived) or fired (confirmed loss).
 func CheckInvariants(cl *workload.Cluster, remaining int) []string {
 	var v []string
 	if remaining != 0 {
 		v = append(v, fmt.Sprintf("%d transfers never completed", remaining))
 	}
+	var blockedVerdicts uint64
 	for _, cn := range cl.Conns() {
 		if cn.Sender.Outstanding() {
 			v = append(v, fmt.Sprintf("qp %d stuck: unacked data after drain", cn.Sender.QP()))
@@ -59,6 +66,20 @@ func CheckInvariants(cl *workload.Cluster, remaining int) []string {
 			v = append(v, fmt.Sprintf("sw %d: %d compensations > %d blocked NACKs",
 				sw, st.Compensations, st.NacksBlocked))
 		}
+		blockedVerdicts += st.NacksBlocked
+		if budget := th.TableBudgetBytes(); budget > 0 && th.TableBytes() > budget {
+			v = append(v, fmt.Sprintf("sw %d: flow table %d B over the %d B budget",
+				sw, th.TableBytes(), budget))
+		}
+		if remaining == 0 {
+			if n := th.PendingCompensations(); n != 0 {
+				v = append(v, fmt.Sprintf("sw %d: %d armed compensations after all transfers completed", sw, n))
+			}
+		}
+	}
+	if blocked := cl.Net.Counters().Blocked; blocked != blockedVerdicts {
+		v = append(v, fmt.Sprintf("blocked-NACK conservation broken: fabric blocked %d != middleware verdicts %d",
+			blocked, blockedVerdicts))
 	}
 	return v
 }

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+
+	"themis/internal/memmodel"
+	"themis/internal/packet"
+)
+
+// This file implements the flow-table lifecycle: the §4 SRAM budget enforced
+// at run time, idle/LRU eviction, and explicit flow retirement. The paper's
+// memory model (Table 1) sizes the ToR state for a fixed N_QP per RNIC; a
+// production ToR instead sees an unbounded stream of short-lived QPs, so the
+// table must be a bounded cache. A flow that falls out of the cache is not
+// broken — it degrades to the exact post-reboot semantics: ECMP spraying at
+// the source ToR and conservative NACK forwarding (never blocking) at the
+// destination ToR, until (with Config.Relearn) live traffic re-registers it.
+
+// ErrTableFull reports that RegisterFlow could not admit a flow because the
+// table budget is exhausted and every resident entry is protected (armed
+// compensation). It is transient: armed entries disarm on the next data
+// packet of the blocked flow, after which registration can succeed. Callers
+// must treat the flow as unmanaged (ECMP + forwarded NACKs), not as failed.
+var ErrTableFull = errors.New("core: flow-table budget exhausted")
+
+// TableBudget derives a Config.TableBudgetBytes value from the §4 memory
+// model: SRAM for `entries` concurrent QPs at the Table 1 per-QP footprint
+// under parameters p (flow-table entry bytes plus the BDP-sized PSN queue).
+func TableBudget(p memmodel.Params, entries int) int {
+	return p.PerQPBytes() * entries
+}
+
+// entryCost charges a flow-table entry its Table 1 footprint in bytes: the
+// 20-byte flow-table entry plus, for Themis-D, one byte per ring slot, or,
+// for Themis-S in PathMap mode, two bytes per path-map slot.
+func entryCost(fs *flowState) int {
+	cost := memmodel.FlowTableEntryBytes
+	if fs.ring != nil {
+		cost += fs.ring.Cap() * memmodel.QueueEntryBytes
+	}
+	cost += 2 * len(fs.pathMap)
+	return cost
+}
+
+// TableBytes returns the SRAM currently charged to flow-table entries.
+func (th *Themis) TableBytes() int { return th.tableBytes }
+
+// TableBudgetBytes returns the configured budget (0 = unbounded).
+func (th *Themis) TableBudgetBytes() int { return th.cfg.TableBudgetBytes }
+
+// evictable reports whether fs may be reclaimed. An entry with an armed
+// compensation (§3.4) is protected: evicting it would strand a blocked NACK
+// with no one left to compensate, turning a spurious block into a real loss
+// that only the sender's RTO can recover. Armed state is transient (the next
+// data packet on the blocked path disarms it), so protection is too.
+func (th *Themis) evictable(fs *flowState) bool {
+	return !(fs.valid && !th.cfg.DisableCompensation)
+}
+
+// evict removes fs from the table and uncharges its footprint. The flow's
+// traffic keeps flowing: it simply becomes an unknown QP, which the hot paths
+// treat exactly like the post-reboot state (ECMP + forwarded NACKs).
+func (th *Themis) evict(fs *flowState, idle bool) {
+	if fs.isDst {
+		delete(th.dstFlows, fs.qp)
+	} else {
+		delete(th.srcFlows, fs.qp)
+	}
+	th.lruRemove(fs)
+	th.tableBytes -= fs.bytes
+	th.stats.Evictions++
+	if idle {
+		th.stats.IdleEvictions++
+	}
+}
+
+// ensureRoom makes space for an entry of the given cost, evicting
+// least-recently-used evictable entries as needed. It reports false when the
+// budget cannot accommodate the entry (cost alone exceeds the budget, or all
+// resident entries are protected).
+func (th *Themis) ensureRoom(cost int) bool {
+	if th.cfg.TableBudgetBytes <= 0 {
+		return true
+	}
+	if cost > th.cfg.TableBudgetBytes {
+		return false
+	}
+	for th.tableBytes+cost > th.cfg.TableBudgetBytes {
+		victim := th.lruHead
+		for victim != nil && !th.evictable(victim) {
+			victim = victim.lruNext
+		}
+		if victim == nil {
+			return false
+		}
+		th.evict(victim, false)
+	}
+	return true
+}
+
+// SweepIdle evicts every evictable entry untouched for Config.IdleTimeout or
+// longer and returns how many were reclaimed. It runs opportunistically on
+// each RegisterFlow, and may be driven externally (e.g. from a housekeeping
+// timer). No-op without an IdleTimeout and a Clock.
+func (th *Themis) SweepIdle() int {
+	if th.cfg.IdleTimeout <= 0 || th.cfg.Clock == nil {
+		return 0
+	}
+	now := th.cfg.Clock.Now()
+	n := 0
+	for fs := th.lruHead; fs != nil; {
+		next := fs.lruNext
+		if now.Sub(fs.lastTouch) < th.cfg.IdleTimeout {
+			break // LRU order: everything behind is younger
+		}
+		if th.evictable(fs) {
+			th.evict(fs, true)
+			n++
+		}
+		fs = next
+	}
+	return n
+}
+
+// UnregisterFlow retires a QP's state on this ToR — the analogue of the
+// RNIC-teardown interception at connection close. It reports whether an entry
+// was present. Unknown QPs (same-rack flows, already-evicted entries) are a
+// no-op: teardown must be idempotent because eviction may race with it.
+func (th *Themis) UnregisterFlow(qp packet.QPID) bool {
+	fs, ok := th.srcFlows[qp]
+	if !ok {
+		fs, ok = th.dstFlows[qp]
+	}
+	if !ok {
+		delete(th.relearnIgnored, qp)
+		return false
+	}
+	if fs.isDst {
+		delete(th.dstFlows, qp)
+	} else {
+		delete(th.srcFlows, qp)
+	}
+	th.lruRemove(fs)
+	th.tableBytes -= fs.bytes
+	th.stats.Unregistered++
+	delete(th.relearnIgnored, qp)
+	return true
+}
+
+// install charges fs against the budget and links it as most recently used.
+func (th *Themis) install(fs *flowState) {
+	fs.bytes = entryCost(fs)
+	th.tableBytes += fs.bytes
+	if th.cfg.Clock != nil {
+		fs.lastTouch = th.cfg.Clock.Now()
+	}
+	th.lruPushBack(fs)
+}
+
+// touch marks fs as just used: refresh the idle clock and move it to the
+// most-recently-used end of the LRU list. O(1), flow-count independent — it
+// runs on the per-packet hot paths.
+func (th *Themis) touch(fs *flowState) {
+	if th.cfg.Clock != nil {
+		fs.lastTouch = th.cfg.Clock.Now()
+	}
+	if th.lruTail == fs {
+		return
+	}
+	th.lruRemove(fs)
+	th.lruPushBack(fs)
+}
+
+// lruPushBack links fs at the most-recently-used end.
+func (th *Themis) lruPushBack(fs *flowState) {
+	fs.lruPrev = th.lruTail
+	fs.lruNext = nil
+	if th.lruTail != nil {
+		th.lruTail.lruNext = fs
+	} else {
+		th.lruHead = fs
+	}
+	th.lruTail = fs
+}
+
+// lruRemove unlinks fs from the LRU list.
+func (th *Themis) lruRemove(fs *flowState) {
+	if fs.lruPrev != nil {
+		fs.lruPrev.lruNext = fs.lruNext
+	} else {
+		th.lruHead = fs.lruNext
+	}
+	if fs.lruNext != nil {
+		fs.lruNext.lruPrev = fs.lruPrev
+	} else {
+		th.lruTail = fs.lruPrev
+	}
+	fs.lruPrev, fs.lruNext = nil, nil
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"testing"
+
+	"themis/internal/memmodel"
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+// fakeClock is a settable Config.Clock for lifecycle tests.
+type fakeClock struct{ now sim.Time }
+
+func (c *fakeClock) Now() sim.Time { return c.now }
+
+// dstEntryBytes is the Table 1 footprint of one Themis-D entry on the test
+// topology: 20 B flow-table entry + 25 ring slots (100 Gbps x 2 us last-hop
+// BDP / 1500 B MTU x F=1.5).
+const dstEntryBytes = memmodel.FlowTableEntryBytes + 25*memmodel.QueueEntryBytes
+
+func TestEntryCostMatchesMemmodel(t *testing.T) {
+	_, dst, _ := setup(t, Config{})
+	if got := dst.TableBytes(); got != dstEntryBytes {
+		t.Fatalf("dst entry charged %d bytes, want %d", got, dstEntryBytes)
+	}
+	src, _, _ := setup(t, Config{})
+	if got := src.TableBytes(); got != memmodel.FlowTableEntryBytes {
+		t.Fatalf("direct-mode src entry charged %d bytes, want %d", got, memmodel.FlowTableEntryBytes)
+	}
+}
+
+func TestTableBudgetDerivation(t *testing.T) {
+	p := memmodel.PaperDefaults()
+	if got, want := TableBudget(p, 10), 10*p.PerQPBytes(); got != want {
+		t.Fatalf("TableBudget = %d, want %d", got, want)
+	}
+}
+
+func TestBudgetEvictsLRU(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 1, Config{TableBudgetBytes: 2 * dstEntryBytes})
+	for qp := packet.QPID(1); qp <= 2; qp++ {
+		if err := th.RegisterFlow(qp, 0, 2, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if th.TableBytes() != 2*dstEntryBytes {
+		t.Fatalf("table bytes %d, want %d", th.TableBytes(), 2*dstEntryBytes)
+	}
+	if err := th.RegisterFlow(3, 0, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if th.TableBytes() > th.TableBudgetBytes() {
+		t.Fatalf("occupancy %d exceeds budget %d", th.TableBytes(), th.TableBudgetBytes())
+	}
+	if _, ok := th.dstFlows[1]; ok {
+		t.Fatal("LRU entry (QP 1) should have been evicted")
+	}
+	if _, ok := th.dstFlows[3]; !ok {
+		t.Fatal("new flow not admitted")
+	}
+	if s := th.Stats(); s.Evictions != 1 || s.TableFull != 0 {
+		t.Fatalf("stats = %+v, want 1 eviction, 0 table-full", s)
+	}
+}
+
+func TestTouchProtectsActiveFlow(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 1, Config{TableBudgetBytes: 2 * dstEntryBytes})
+	for qp := packet.QPID(1); qp <= 2; qp++ {
+		if err := th.RegisterFlow(qp, 0, 2, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// QP 1 is older but active: delivering a packet must move it to the MRU
+	// end so the idle QP 2 becomes the victim.
+	th.OnDeliverToHost(dataPkt(1, 0, 2, 0))
+	if err := th.RegisterFlow(3, 0, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := th.dstFlows[1]; !ok {
+		t.Fatal("recently-touched QP 1 was evicted")
+	}
+	if _, ok := th.dstFlows[2]; ok {
+		t.Fatal("idle QP 2 should have been the LRU victim")
+	}
+}
+
+func TestArmedCompensationProtectedFromEviction(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 1, Config{TableBudgetBytes: dstEntryBytes})
+	if err := th.RegisterFlow(1, 0, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Arm the §3.4 compensation: data PSN 2 then an invalid NACK for ePSN 1
+	// (delta 1 mod 2 paths != 0) blocks and records BePSN.
+	th.OnDeliverToHost(dataPkt(1, 0, 2, 2))
+	if th.FilterHostControl(nackPkt(1, 2, 0, 1)) {
+		t.Fatal("NACK should have been blocked")
+	}
+	if !th.dstFlows[1].valid {
+		t.Fatal("compensation not armed")
+	}
+	// While armed, the sole resident entry is protected: the new flow is
+	// rejected (transiently) rather than stranding the blocked NACK.
+	if err := th.RegisterFlow(2, 1, 3, 1000); err != ErrTableFull {
+		t.Fatalf("RegisterFlow = %v, want ErrTableFull", err)
+	}
+	if s := th.Stats(); s.TableFull != 1 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 table-full, 0 evictions", s)
+	}
+	// A later same-path arrival resolves the compensation; the entry becomes
+	// evictable and the registration succeeds.
+	if out := th.OnDeliverToHost(dataPkt(1, 0, 2, 3)); len(out) != 1 {
+		t.Fatalf("expected 1 compensation NACK, got %d", len(out))
+	}
+	if err := th.RegisterFlow(2, 1, 3, 1000); err != nil {
+		t.Fatalf("post-disarm RegisterFlow: %v", err)
+	}
+	if s := th.Stats(); s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction", s)
+	}
+}
+
+func TestBudgetSmallerThanEntryRejects(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 1, Config{TableBudgetBytes: dstEntryBytes - 1})
+	if err := th.RegisterFlow(1, 0, 2, 1000); err != ErrTableFull {
+		t.Fatalf("RegisterFlow = %v, want ErrTableFull", err)
+	}
+	if th.TableBytes() != 0 {
+		t.Fatalf("rejected flow charged %d bytes", th.TableBytes())
+	}
+}
+
+func TestIdleSweep(t *testing.T) {
+	ck := &fakeClock{}
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 1, Config{IdleTimeout: 10 * sim.Microsecond, Clock: ck})
+	if err := th.RegisterFlow(1, 0, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	ck.now = 5 * sim.Time(sim.Microsecond)
+	if err := th.RegisterFlow(2, 0, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	ck.now = 12 * sim.Time(sim.Microsecond)
+	if n := th.SweepIdle(); n != 1 {
+		t.Fatalf("SweepIdle reclaimed %d entries, want 1 (only QP 1 is idle)", n)
+	}
+	if _, ok := th.dstFlows[1]; ok {
+		t.Fatal("idle QP 1 not evicted")
+	}
+	if _, ok := th.dstFlows[2]; !ok {
+		t.Fatal("young QP 2 wrongly evicted")
+	}
+	if s := th.Stats(); s.IdleEvictions != 1 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 idle eviction", s)
+	}
+	// Registration sweeps opportunistically: QP 2 goes idle, a new flow's
+	// RegisterFlow reclaims it even without budget pressure.
+	ck.now = 30 * sim.Time(sim.Microsecond)
+	if err := th.RegisterFlow(3, 0, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := th.dstFlows[2]; ok {
+		t.Fatal("RegisterFlow did not sweep idle QP 2")
+	}
+}
+
+func TestUnregisterFlow(t *testing.T) {
+	src, dst, _ := setup(t, Config{})
+	for _, th := range []*Themis{src, dst} {
+		if !th.UnregisterFlow(1) {
+			t.Fatal("UnregisterFlow missed a registered flow")
+		}
+		if th.TableBytes() != 0 {
+			t.Fatalf("table still charged %d bytes after unregister", th.TableBytes())
+		}
+		if th.UnregisterFlow(1) {
+			t.Fatal("UnregisterFlow should be idempotent")
+		}
+		if s, d := th.FlowCounts(); s+d != 0 {
+			t.Fatal("flow still registered")
+		}
+		if st := th.Stats(); st.Unregistered != 1 {
+			t.Fatalf("Unregistered = %d, want 1", st.Unregistered)
+		}
+	}
+}
+
+func TestReRegisterReplacesEntry(t *testing.T) {
+	_, dst, _ := setup(t, Config{})
+	if err := dst.RegisterFlow(1, 0, 2, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(dst.dstFlows); n != 1 {
+		t.Fatalf("%d entries after re-registration, want 1", n)
+	}
+	if dst.TableBytes() != dstEntryBytes {
+		t.Fatalf("table charged %d bytes, want %d (no leak)", dst.TableBytes(), dstEntryBytes)
+	}
+}
+
+func TestRebootResetsTableCharge(t *testing.T) {
+	_, dst, _ := setup(t, Config{TableBudgetBytes: 4 * dstEntryBytes})
+	dst.Reboot()
+	if dst.TableBytes() != 0 {
+		t.Fatalf("table charged %d bytes after reboot", dst.TableBytes())
+	}
+	// The LRU list must be reset too: registrations after the reboot work.
+	for qp := packet.QPID(10); qp < 16; qp++ {
+		if err := dst.RegisterFlow(qp, 0, 2, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dst.TableBytes() > dst.TableBudgetBytes() {
+		t.Fatalf("occupancy %d exceeds budget after reboot", dst.TableBytes())
+	}
+}
+
+func TestEvictedFlowDegradesGracefully(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 1, Config{TableBudgetBytes: dstEntryBytes})
+	if err := th.RegisterFlow(1, 0, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.RegisterFlow(2, 1, 3, 1000); err != nil {
+		t.Fatal(err) // evicts QP 1
+	}
+	// The evicted QP's NACK must pass unfiltered (conservative forwarding,
+	// same as post-reboot) and be counted for the chaos invariant.
+	if !th.FilterHostControl(nackPkt(1, 2, 0, 5)) {
+		t.Fatal("NACK for evicted QP was blocked")
+	}
+	s := th.Stats()
+	if s.UnknownNacksForwarded != 1 {
+		t.Fatalf("UnknownNacksForwarded = %d, want 1", s.UnknownNacksForwarded)
+	}
+	if s.NacksBlocked != 0 || s.NacksSeen != 0 {
+		t.Fatalf("evicted flow entered the validation path: %+v", s)
+	}
+	// Its data packets see no Themis-D processing either.
+	if out := th.OnDeliverToHost(dataPkt(1, 0, 2, 6)); out != nil {
+		t.Fatal("evicted flow generated compensation traffic")
+	}
+}
+
+func TestRelearnRetriesAfterTableFull(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 1, Config{TableBudgetBytes: dstEntryBytes, Relearn: true})
+	if err := th.RegisterFlow(1, 0, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Arm QP 1 so it is protected, then present traffic for an unknown QP:
+	// relearn hits ErrTableFull and must NOT cache the QP as permanently
+	// unmanaged.
+	th.OnDeliverToHost(dataPkt(1, 0, 2, 2))
+	th.FilterHostControl(nackPkt(1, 2, 0, 1))
+	th.OnDeliverToHost(dataPkt(2, 1, 3, 0))
+	if _, ok := th.dstFlows[2]; ok {
+		t.Fatal("QP 2 admitted despite full table of protected entries")
+	}
+	if _, cached := th.relearnIgnored[2]; cached {
+		t.Fatal("transient table-full cached as a permanent relearn decline")
+	}
+	// Disarm QP 1; the next packet of QP 2 relearns successfully.
+	th.OnDeliverToHost(dataPkt(1, 0, 2, 3))
+	th.OnDeliverToHost(dataPkt(2, 1, 3, 1))
+	if _, ok := th.dstFlows[2]; !ok {
+		t.Fatal("QP 2 not relearned after budget pressure cleared")
+	}
+}
+
+func TestFailureAndAdminLatchesIndependent(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 0, Config{FallbackOnFailure: true})
+	th.LinkStateChanged(2, false)
+	th.LinkStateChanged(3, false)
+	if !th.Disabled() {
+		t.Fatal("not disabled with two links down")
+	}
+	// Cluster-wide hold placed while links are down (the workload.FailLink
+	// pattern): repairing one link — or even all of them — must not clear it.
+	th.SetDisabled(true)
+	th.LinkStateChanged(2, true)
+	if !th.Disabled() {
+		t.Fatal("repair of one link cleared the disable with another still down")
+	}
+	th.LinkStateChanged(3, true)
+	if !th.Disabled() {
+		t.Fatal("link repairs cleared the operator/cluster hold")
+	}
+	th.SetDisabled(false)
+	if th.Disabled() {
+		t.Fatal("still disabled with no hold and all links up")
+	}
+	// And the converse: clearing the hold must not re-enable a ToR whose
+	// links are still down.
+	th.SetDisabled(true)
+	th.LinkStateChanged(2, false)
+	th.SetDisabled(false)
+	if !th.Disabled() {
+		t.Fatal("clearing the hold re-enabled a ToR with a down link")
+	}
+	th.LinkStateChanged(2, true)
+	if th.Disabled() {
+		t.Fatal("not re-enabled after final repair")
+	}
+}
+
+func TestDownPortsClampNonNegative(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 2)
+	th := New(tp, 0, Config{FallbackOnFailure: true})
+	// A spurious up edge (e.g. a double repair) must not underflow.
+	th.LinkStateChanged(2, true)
+	if th.DownPorts() != 0 {
+		t.Fatalf("DownPorts = %d, want 0", th.DownPorts())
+	}
+	th.LinkStateChanged(2, false)
+	if th.DownPorts() != 1 || !th.Disabled() {
+		t.Fatal("down edge after spurious up edge lost")
+	}
+	th.LinkStateChanged(2, true)
+	if th.DownPorts() != 0 || th.Disabled() {
+		t.Fatal("state wrong after symmetric repair")
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"themis/internal/packet"
+)
+
+// themisDWithFlows returns a destination-ToR instance with n registered
+// Themis-D flows (hosts 0→2 across a 2×2×2 leaf-spine, one QP per flow).
+func themisDWithFlows(tb testing.TB, n int, cfg Config) *Themis {
+	tb.Helper()
+	tp := leafSpine(tb, 2, 2, 2)
+	th := New(tp, 1, cfg)
+	for qp := 1; qp <= n; qp++ {
+		if err := th.RegisterFlow(packet.QPID(qp), 0, 2, 1000); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return th
+}
+
+// BenchmarkOnDeliverToHost guards the Themis-D per-packet observation point:
+// its cost must be independent of the number of registered flows (the churn
+// workload registers thousands), so the sub-benchmarks across flow counts
+// must report the same ns/op.
+func BenchmarkOnDeliverToHost(b *testing.B) {
+	for _, flows := range []int{16, 1024, 8192} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			th := themisDWithFlows(b, flows, Config{})
+			pkt := dataPkt(1, 0, 2, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pkt.PSN = packet.PSN(uint32(i)).Add(0)
+				th.OnDeliverToHost(pkt)
+			}
+		})
+	}
+}
+
+// TestOnDeliverToHostAllocFree is the AllocsPerRun guard behind the
+// benchmark: the hot path must not allocate regardless of flow count.
+func TestOnDeliverToHostAllocFree(t *testing.T) {
+	th := themisDWithFlows(t, 8192, Config{})
+	pkt := dataPkt(1, 0, 2, 0)
+	psn := uint32(0)
+	if n := testing.AllocsPerRun(200, func() {
+		pkt.PSN = packet.PSN(psn).Add(0)
+		psn++
+		th.OnDeliverToHost(pkt)
+	}); n != 0 {
+		t.Fatalf("OnDeliverToHost allocates %.1f times per packet", n)
+	}
+}

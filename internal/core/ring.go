@@ -61,15 +61,20 @@ func (r *psnRing) Cap() int { return len(r.buf) }
 // Overflows returns how many entries were evicted because the ring was full.
 func (r *psnRing) Overflows() uint64 { return r.overflows }
 
-// Push enqueues a truncated PSN, evicting the oldest entry if full.
-func (r *psnRing) Push(psn uint8) {
+// Push enqueues a truncated PSN, evicting the oldest entry if full. It
+// reports whether an eviction happened so the parent can count overflows
+// incrementally instead of re-summing every ring on the hot path.
+func (r *psnRing) Push(psn uint8) bool {
+	evicted := false
 	if r.size == len(r.buf) {
 		r.head = (r.head + 1) % len(r.buf)
 		r.size--
 		r.overflows++
+		evicted = true
 	}
 	r.buf[(r.head+r.size)%len(r.buf)] = psn
 	r.size++
+	return evicted
 }
 
 // Pop dequeues the oldest entry.

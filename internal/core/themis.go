@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"themis/internal/lb"
+	"themis/internal/memmodel"
 	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/sim"
@@ -64,6 +65,23 @@ type Config struct {
 	// be configured identically on the source and destination ToRs of a
 	// flow (it is part of the connection-setup handshake in deployment).
 	PathSubset int
+	// TableBudgetBytes caps the SRAM charged to per-QP flow state on this
+	// ToR (both roles), enforcing the §4 memory model at run time: every
+	// entry is charged its Table 1 footprint (flow-table entry bytes plus,
+	// for Themis-D, the ring queue slots; for Themis-S, the per-flow PathMap)
+	// and a registration that would exceed the budget evicts idle/LRU entries
+	// to make room. When no victim is evictable the flow is rejected and runs
+	// unmanaged — it degrades to ECMP and conservative NACK forwarding,
+	// exactly like the post-reboot relearn path. Zero means unbounded (the
+	// historical behaviour). See TableBudget to derive a value from
+	// memmodel.Params.
+	TableBudgetBytes int
+	// IdleTimeout enables lazy reclamation of idle flow-table entries: an
+	// entry untouched for this long may be evicted by SweepIdle (run
+	// opportunistically on every registration) even without budget pressure.
+	// Requires Clock. Zero disables idle eviction; entries are then reclaimed
+	// only by UnregisterFlow or budget pressure.
+	IdleTimeout sim.Duration
 	// Relearn makes the ToR rebuild per-QP flow state from live traffic
 	// after a state loss (Reboot): a data or NACK packet for an unknown QP
 	// re-registers the flow from its header fields, exactly as the
@@ -100,6 +118,11 @@ type Stats struct {
 	Bypassed              uint64 // packets passed through while disabled (failure mode)
 	Reboots               uint64 // simulated state losses (Reboot calls)
 	Relearns              uint64 // flows re-registered from live traffic after a reboot
+	Evictions             uint64 // entries reclaimed by the lifecycle layer (budget or idle)
+	IdleEvictions         uint64 // subset of Evictions reclaimed by SweepIdle
+	TableFull             uint64 // registrations rejected: budget exhausted, no victim
+	Unregistered          uint64 // entries retired explicitly via UnregisterFlow
+	UnknownNacksForwarded uint64 // NACKs for unknown/evicted QPs passed through unfiltered
 }
 
 // flowState is the per-QP state of Table "FlowTable" in Fig. 4a: ring queue
@@ -115,6 +138,16 @@ type flowState struct {
 	// NACK-compensation fields (§3.4).
 	bepsn packet.PSN
 	valid bool
+
+	// Lifecycle fields (see lifecycle.go): key back-reference, role, charged
+	// Table 1 footprint, last-touch clock, and intrusive LRU links (a list,
+	// not map iteration, so victim selection is O(1) and deterministic).
+	qp        packet.QPID
+	isDst     bool
+	bytes     int
+	lastTouch sim.Time
+	lruPrev   *flowState
+	lruNext   *flowState
 }
 
 // Themis is the middleware instance on one ToR switch. It implements
@@ -136,8 +169,19 @@ type Themis struct {
 	// not retry them on every packet.
 	relearnIgnored map[packet.QPID]struct{}
 
+	// Lifecycle state: intrusive LRU over all entries (head = coldest) and
+	// the SRAM currently charged against Config.TableBudgetBytes.
+	lruHead    *flowState
+	lruTail    *flowState
+	tableBytes int
+
 	downPorts int
-	disabled  bool // explicit or failure-driven disable
+	// The bypass state is two independent latches so the §6 failure response
+	// and the operator/cluster disable cannot clobber each other: repairing
+	// this ToR's last down link clears only failDisabled, never an operator
+	// hold, and vice versa.
+	adminDisabled bool // operator/cluster hold (SetDisabled)
+	failDisabled  bool // §6 FallbackOnFailure while any local link is down
 
 	stats Stats
 }
@@ -177,6 +221,14 @@ func (th *Themis) registerMetrics(r *obs.Registry) {
 	r.GaugeFunc("themis.bypassed", func() float64 { return float64(th.stats.Bypassed) })
 	r.GaugeFunc("themis.reboots", func() float64 { return float64(th.stats.Reboots) })
 	r.GaugeFunc("themis.relearns", func() float64 { return float64(th.stats.Relearns) })
+	r.GaugeFunc("themis.evictions", func() float64 { return float64(th.stats.Evictions) })
+	r.GaugeFunc("themis.idle_evictions", func() float64 { return float64(th.stats.IdleEvictions) })
+	r.GaugeFunc("themis.table_full", func() float64 { return float64(th.stats.TableFull) })
+	r.GaugeFunc("themis.unregistered", func() float64 { return float64(th.stats.Unregistered) })
+	r.GaugeFunc("themis.unknown_nacks_forwarded", func() float64 { return float64(th.stats.UnknownNacksForwarded) })
+	r.GaugeFunc("themis.table_bytes", func() float64 { return float64(th.tableBytes) })
+	r.GaugeFunc("themis.table_budget_bytes", func() float64 { return float64(th.cfg.TableBudgetBytes) })
+	r.GaugeFunc("themis.flows", func() float64 { return float64(len(th.srcFlows) + len(th.dstFlows)) })
 }
 
 // Stats returns a snapshot of this instance's counters.
@@ -185,12 +237,22 @@ func (th *Themis) Stats() Stats { return th.stats }
 // SwitchID returns the ToR this instance runs on.
 func (th *Themis) SwitchID() int { return th.swID }
 
-// Disabled reports whether Themis is currently bypassing itself.
-func (th *Themis) Disabled() bool { return th.disabled }
+// Disabled reports whether Themis is currently bypassing itself, for any
+// reason: an operator hold (SetDisabled) or the §6 failure response.
+func (th *Themis) Disabled() bool { return th.adminDisabled || th.failDisabled }
 
-// SetDisabled forces the bypass state (used by operators and tests; the §6
-// failure path sets it automatically when FallbackOnFailure is on).
-func (th *Themis) SetDisabled(v bool) { th.disabled = v }
+// bypassed is the hot-path alias of Disabled.
+func (th *Themis) bypassed() bool { return th.adminDisabled || th.failDisabled }
+
+// SetDisabled sets or clears the operator/cluster hold. It is a latch
+// independent of the failure-driven one: link repairs never clear it, and
+// clearing it does not re-enable a ToR that still has down links under
+// FallbackOnFailure.
+func (th *Themis) SetDisabled(v bool) { th.adminDisabled = v }
+
+// DownPorts returns the number of this ToR's fabric links currently down, as
+// tracked from LinkStateChanged notifications.
+func (th *Themis) DownPorts() int { return th.downPorts }
 
 // Reboot simulates a power-cycle of the middleware: the flow table and every
 // per-QP ring queue are lost mid-flow, exactly what a ToR reboot does to the
@@ -203,6 +265,8 @@ func (th *Themis) Reboot() {
 	th.srcFlows = make(map[packet.QPID]*flowState)
 	th.dstFlows = make(map[packet.QPID]*flowState)
 	th.relearnIgnored = nil
+	th.lruHead, th.lruTail = nil, nil
+	th.tableBytes = 0
 	th.stats.Reboots++
 	if th.cfg.Tracer != nil && th.cfg.Clock != nil {
 		th.cfg.Tracer.RecordFault(th.cfg.Clock.Now(), trace.FaultReset, th.swID, -1)
@@ -217,8 +281,12 @@ func (th *Themis) relearn(qp packet.QPID, src, dst packet.NodeID, sport uint16) 
 		return
 	}
 	// A failed registration (e.g. direct spray on an asymmetric fabric) is
-	// treated like an unmanaged flow rather than retried per packet.
-	_ = th.RegisterFlow(qp, src, dst, sport)
+	// treated like an unmanaged flow rather than retried per packet — except
+	// ErrTableFull, which is transient (armed entries disarm, budget frees):
+	// caching it would permanently unmanage a flow that was merely unlucky.
+	if err := th.RegisterFlow(qp, src, dst, sport); err == ErrTableFull {
+		return
+	}
 	_, isSrc := th.srcFlows[qp]
 	_, isDst := th.dstFlows[qp]
 	if isSrc || isDst {
@@ -267,6 +335,12 @@ func (th *Themis) FlowCounts() (src, dst int) {
 // (Themis-S role) and the destination ToR (Themis-D role); calling it on a
 // switch that is neither is a no-op. Same-rack flows (a single path) are
 // ignored: Themis only operates on cross-rack QPs (§4).
+//
+// Under a finite Config.TableBudgetBytes the table is a bounded cache:
+// registering may first sweep idle entries and evict LRU victims, and returns
+// ErrTableFull when no room can be made (all residents protected by an armed
+// compensation). A rejected flow is unmanaged, not broken — it runs over
+// plain ECMP with NACKs forwarded, and relearn retries it later.
 func (th *Themis) RegisterFlow(qp packet.QPID, src, dst packet.NodeID, sport uint16) error {
 	if th.topology.ToROf(src) == th.topology.ToROf(dst) {
 		return nil
@@ -274,6 +348,17 @@ func (th *Themis) RegisterFlow(qp packet.QPID, src, dst packet.NodeID, sport uin
 	full := th.topology.PathCount(src, dst)
 	if full < 2 {
 		return nil
+	}
+	isSrc := th.topology.ToROf(src) == th.swID
+	isDst := th.topology.ToROf(dst) == th.swID
+	if !isSrc && !isDst {
+		return nil
+	}
+	th.SweepIdle()
+	// Re-registration (connection-setup retry, or a stale entry for a reused
+	// QP number) replaces the old entry rather than leaking its charge.
+	if th.UnregisterFlow(qp) {
+		th.stats.Unregistered-- // internal replacement, not an observable retirement
 	}
 	n := full
 	if th.cfg.PathSubset > 0 && th.cfg.PathSubset < n {
@@ -286,10 +371,16 @@ func (th *Themis) RegisterFlow(qp packet.QPID, src, dst packet.NodeID, sport uin
 		dst:      dst,
 		nPaths:   n,
 		flowHash: lb.Hash(key) ^ lb.SwitchSeed(th.swID),
+		qp:       qp,
 	}
-	switch {
-	case th.topology.ToROf(src) == th.swID:
+	if isSrc {
 		if th.cfg.Mode == PathMapSpray {
+			// Charge the budget before the PathMap build so a rejected flow
+			// costs no allocation on the (possibly per-packet) relearn path.
+			if !th.ensureRoom(memmodel.FlowTableEntryBytes + 2*n) {
+				th.stats.TableFull++
+				return ErrTableFull
+			}
 			pm, err := BuildPathMap(th.topology, key, n)
 			if err != nil {
 				return fmt.Errorf("core: building PathMap for qp %d: %w", qp, err)
@@ -304,12 +395,23 @@ func (th *Themis) RegisterFlow(qp packet.QPID, src, dst packet.NodeID, sport uin
 			if len(cands) != full {
 				return fmt.Errorf("core: direct spray needs one uplink per path (have %d uplinks, %d paths); use PathMapSpray", len(cands), full)
 			}
+			if !th.ensureRoom(memmodel.FlowTableEntryBytes) {
+				th.stats.TableFull++
+				return ErrTableFull
+			}
 		}
 		th.srcFlows[qp] = fs
-	case th.topology.ToROf(dst) == th.swID:
-		fs.ring = newPSNRing(th.ringCapacity(dst))
+	} else {
+		ringCap := th.ringCapacity(dst)
+		if !th.ensureRoom(memmodel.FlowTableEntryBytes + ringCap*memmodel.QueueEntryBytes) {
+			th.stats.TableFull++
+			return ErrTableFull
+		}
+		fs.ring = newPSNRing(ringCap)
+		fs.isDst = true
 		th.dstFlows[qp] = fs
 	}
+	th.install(fs)
 	return nil
 }
 
@@ -332,7 +434,7 @@ func (th *Themis) ringCapacity(dst packet.NodeID) int {
 func (th *Themis) SelectUplink(pkt *packet.Packet, cands []int) (int, bool) {
 	fs, ok := th.srcFlows[pkt.QP]
 	if !ok {
-		if th.cfg.Relearn && !th.disabled {
+		if th.cfg.Relearn && !th.bypassed() {
 			th.relearn(pkt.QP, pkt.Src, pkt.Dst, pkt.SPort)
 			fs, ok = th.srcFlows[pkt.QP]
 		}
@@ -340,10 +442,11 @@ func (th *Themis) SelectUplink(pkt *packet.Packet, cands []int) (int, bool) {
 			return 0, false
 		}
 	}
-	if th.disabled {
+	if th.bypassed() {
 		th.stats.Bypassed++
 		return 0, false // ECMP fallback (§6)
 	}
+	th.touch(fs)
 	th.stats.Sprayed++
 	th.trace(trace.Spray, pkt)
 	if fs.pathMap != nil {
@@ -367,15 +470,16 @@ func (th *Themis) SelectUplink(pkt *packet.Packet, cands []int) (int, bool) {
 // back to the sender.
 func (th *Themis) OnDeliverToHost(pkt *packet.Packet) []*packet.Packet {
 	fs, ok := th.dstFlows[pkt.QP]
-	if !ok && th.cfg.Relearn && !th.disabled {
+	if !ok && th.cfg.Relearn && !th.bypassed() {
 		// State loss: rebuild Themis-D state from the live data packet. The
 		// fresh ring starts empty, so classification restarts conservatively.
 		th.relearn(pkt.QP, pkt.Src, pkt.Dst, pkt.SPort)
 		fs, ok = th.dstFlows[pkt.QP]
 	}
-	if !ok || th.disabled {
+	if !ok || th.bypassed() {
 		return nil
 	}
+	th.touch(fs)
 	var out []*packet.Packet
 	if fs.valid && !th.cfg.DisableCompensation {
 		switch {
@@ -403,17 +507,14 @@ func (th *Themis) OnDeliverToHost(pkt *packet.Packet) []*packet.Packet {
 			out = append(out, nack)
 		}
 	}
-	fs.ring.Push(pkt.PSN.Trunc())
-	th.stats.RingOverflows = th.ringOverflowTotal()
-	return out
-}
-
-func (th *Themis) ringOverflowTotal() uint64 {
-	var n uint64
-	for _, fs := range th.dstFlows {
-		n += fs.ring.Overflows()
+	if fs.ring.Push(pkt.PSN.Trunc()) {
+		// Incremental: the ring reports its own eviction, so the hot path
+		// stays O(1) in the number of registered flows. (The counter is also
+		// monotone across Reboot/eviction now — it no longer gets recomputed
+		// from whatever rings happen to be resident.)
+		th.stats.RingOverflows++
 	}
-	return n
+	return out
 }
 
 // FilterHostControl implements Themis-D NACK validation (§3.3): identify the
@@ -424,18 +525,27 @@ func (th *Themis) FilterHostControl(pkt *packet.Packet) bool {
 		return true
 	}
 	fs, ok := th.dstFlows[pkt.QP]
-	if !ok && th.cfg.Relearn && !th.disabled {
+	if !ok && th.cfg.Relearn && !th.bypassed() {
 		// The NACK travels receiver -> sender, so the flow's data direction
 		// is (pkt.Dst -> pkt.Src); control packets reuse the forward sport.
 		th.relearn(pkt.QP, pkt.Dst, pkt.Src, pkt.SPort)
 		fs, ok = th.dstFlows[pkt.QP]
 	}
-	if !ok || th.disabled || th.cfg.DisableBlocking {
-		// Unknown QP mid-flow is the post-reboot degradation mode: forward
-		// the NACK unmodified — a spurious retransmission is always cheaper
-		// than a suppressed valid NACK.
+	if !ok {
+		// Unknown QP mid-flow is the degradation mode shared by reboot,
+		// eviction, and table-full rejection: forward the NACK unmodified —
+		// a spurious retransmission is always cheaper than a suppressed
+		// valid NACK. Counted so the churn invariants can prove the
+		// conservative path actually ran (non-vacuity).
+		if !th.bypassed() && !th.cfg.DisableBlocking {
+			th.stats.UnknownNacksForwarded++
+		}
 		return true
 	}
+	if th.bypassed() || th.cfg.DisableBlocking {
+		return true
+	}
+	th.touch(fs)
 	th.stats.NacksSeen++
 	tpsn, found := fs.ring.ScanFor(pkt.PSN.Trunc())
 	if !found {
@@ -480,14 +590,23 @@ func (th *Themis) trace(op trace.Op, pkt *packet.Packet) {
 
 // LinkStateChanged implements the §6 failure response: when any of this
 // ToR's fabric links is down, Themis disables itself and the switch reverts
-// to its configured (ECMP) selector.
+// to its configured (ECMP) selector. Only the failure latch is driven here —
+// an operator hold (SetDisabled) survives any sequence of link repairs.
+//
+// The fabric delivers a synthetic "down" edge for every already-down port
+// when the pipeline is installed (fabric.SetTorPipeline), so downPorts is
+// correct even on a switch that was degraded before Themis attached. The
+// up-edge clamp guards against double-repair notifications ever driving the
+// counter negative and wedging the latch logic.
 func (th *Themis) LinkStateChanged(port int, up bool) {
 	if up {
-		th.downPorts--
+		if th.downPorts > 0 {
+			th.downPorts--
+		}
 	} else {
 		th.downPorts++
 	}
 	if th.cfg.FallbackOnFailure {
-		th.disabled = th.downPorts > 0
+		th.failDisabled = th.downPorts > 0
 	}
 }

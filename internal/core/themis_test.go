@@ -9,7 +9,7 @@ import (
 	"themis/internal/topo"
 )
 
-func leafSpine(t *testing.T, leaves, spines, hosts int) *topo.Topology {
+func leafSpine(t testing.TB, leaves, spines, hosts int) *topo.Topology {
 	t.Helper()
 	tp, err := topo.NewLeafSpine(topo.LeafSpineConfig{
 		Leaves: leaves, Spines: spines, HostsPerLeaf: hosts,

@@ -30,6 +30,7 @@ func testGrid() []Scenario {
 		Senders:      4,
 		MessageBytes: 512 << 10,
 	})
+	grid = append(grid, ChurnGrid(5, 1)...)
 	return grid
 }
 
@@ -151,6 +152,7 @@ func TestGridShapes(t *testing.T) {
 		PathSubsetGrid(7, []int{1, 4, 16}),
 		LossRecoveryGrid(7),
 		SmokeGrid(1, 2),
+		ChurnGrid(7, 2),
 	} {
 		seen := map[string]bool{}
 		for _, sc := range grid {
@@ -159,6 +161,43 @@ func TestGridShapes(t *testing.T) {
 			}
 			seen[sc.Name] = true
 		}
+	}
+}
+
+// TestChurnGridTrials runs one churn seed through the harness and checks the
+// lifecycle story end to end: the budgeted arms stay under the §4 budget and
+// actually evict, the no-relearn arm exercises conservative NACK forwarding,
+// and the unbounded baseline never evicts.
+func TestChurnGridTrials(t *testing.T) {
+	trials := Runner{Parallel: 3}.Run(ChurnGrid(11, 1))
+	if len(trials) != 3 {
+		t.Fatalf("trials = %d, want 3", len(trials))
+	}
+	for _, tr := range trials {
+		if tr.Err != "" {
+			t.Fatalf("%s failed: %s", tr.Name, tr.Err)
+		}
+		if len(tr.Violations) != 0 {
+			t.Errorf("%s: violations %v", tr.Name, tr.Violations)
+		}
+	}
+	relearn, ecmp, unbounded := trials[0], trials[1], trials[2]
+	for _, tr := range []Trial{relearn, ecmp} {
+		if tr.TableBudgetBytes == 0 {
+			t.Fatalf("%s: budget not recorded", tr.Name)
+		}
+		if tr.TableBytesPeak > tr.TableBudgetBytes {
+			t.Errorf("%s: peak %d B over budget %d B", tr.Name, tr.TableBytesPeak, tr.TableBudgetBytes)
+		}
+		if tr.Middleware.Evictions == 0 {
+			t.Errorf("%s: budget never evicted", tr.Name)
+		}
+	}
+	if ecmp.Middleware.UnknownNacksForwarded == 0 {
+		t.Error("no-relearn arm never forwarded an evicted-QP NACK")
+	}
+	if unbounded.Middleware.Evictions != 0 || unbounded.Middleware.TableFull != 0 {
+		t.Errorf("unbounded baseline evicted: %+v", unbounded.Middleware)
 	}
 }
 

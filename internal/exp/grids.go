@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"themis/internal/collective"
+	"themis/internal/core"
+	"themis/internal/memmodel"
 	"themis/internal/rnic"
 	"themis/internal/sim"
 	"themis/internal/workload"
@@ -168,6 +170,62 @@ func ChaosGrid(first int64, count int) []Scenario {
 	for i := range grid {
 		grid[i] = Scenario{Workload: Chaos, Seed: first + int64(i)}
 		grid[i].Name = grid[i].Label()
+	}
+	return grid
+}
+
+// churnQPs is the offered QP count of the churn grid; the budgeted arms get
+// SRAM for a tenth of it.
+const churnQPs = 120
+
+// churnBudgetBytes derives the §4 table budget for the churn grid's fabric
+// (100 Gbps last hop, 1 us links → 2 us last-hop RTT): entries × M_QP.
+func churnBudgetBytes(entries int) int {
+	return core.TableBudget(memmodel.Params{
+		Bandwidth: 100e9,
+		RTTLast:   2 * sim.Microsecond,
+		MTU:       1500,
+		Factor:    1.5,
+	}, entries)
+}
+
+// ChurnGrid returns the flow-lifecycle sweep for seeds [first, first+count):
+// per seed, a budgeted arm with relearn (eviction costs one relearn round
+// trip), a budgeted arm without (evicted flows permanently degrade to ECMP
+// with conservative NACK forwarding), and the unbounded baseline. Both
+// budgeted arms get SRAM for a tenth of the offered QPs, and every arm runs
+// the seeded fault mix (ToR reboots + a link flap) over bursty senders.
+func ChurnGrid(first int64, count int) []Scenario {
+	budget := churnBudgetBytes(churnQPs / 10)
+	arms := []struct {
+		name   string
+		knobs  ThemisKnobs
+		budget int
+	}{
+		{"budgeted-relearn", ThemisKnobs{Relearn: true, FallbackOnFailure: true}, budget},
+		{"budgeted-ecmp", ThemisKnobs{FallbackOnFailure: true}, budget},
+		{"unbounded", ThemisKnobs{Relearn: true, FallbackOnFailure: true}, 0},
+	}
+	var grid []Scenario
+	for i := 0; i < count; i++ {
+		seed := first + int64(i)
+		for _, arm := range arms {
+			sc := Scenario{
+				Name:         fmt.Sprintf("churn/%s/seed%d", arm.name, seed),
+				Workload:     Churn,
+				Seed:         seed,
+				LB:           workload.Themis,
+				QPs:          churnQPs,
+				Concurrency:  24,
+				MessageBytes: 64 << 10,
+				BurstBytes:   9000,
+				LossyControl: true,
+				Faults:       true,
+				Themis:       arm.knobs,
+			}
+			sc.Themis.TableBudgetBytes = arm.budget
+			grid = append(grid, sc)
+		}
 	}
 	return grid
 }

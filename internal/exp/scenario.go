@@ -37,6 +37,10 @@ const (
 	// Chaos is a fault-injection soak run: the fault schedule is generated
 	// from the seed (see internal/chaos), and invariants are checked.
 	Chaos Workload = "chaos"
+	// Churn is the flow-lifecycle stress: a stream of short-lived cross-rack
+	// QPs (QPs total, Concurrency at a time) against a bounded flow table,
+	// with lifecycle invariants checked (see workload.RunChurn).
+	Churn Workload = "churn"
 )
 
 // ThemisKnobs is the serializable subset of core.Config — the middleware
@@ -49,6 +53,10 @@ type ThemisKnobs struct {
 	DisableCompensation bool    `json:"disable_compensation,omitempty"`
 	FallbackOnFailure   bool    `json:"fallback_on_failure,omitempty"`
 	Relearn             bool    `json:"relearn,omitempty"`
+	// TableBudgetBytes bounds each instance's flow table to the §4 SRAM
+	// budget (0 = unbounded); IdleTimeout enables idle-entry eviction.
+	TableBudgetBytes int          `json:"table_budget_bytes,omitempty"`
+	IdleTimeout      sim.Duration `json:"idle_timeout,omitempty"`
 }
 
 func (k ThemisKnobs) coreConfig() core.Config {
@@ -59,6 +67,8 @@ func (k ThemisKnobs) coreConfig() core.Config {
 		DisableCompensation: k.DisableCompensation,
 		FallbackOnFailure:   k.FallbackOnFailure,
 		Relearn:             k.Relearn,
+		TableBudgetBytes:    k.TableBudgetBytes,
+		IdleTimeout:         k.IdleTimeout,
 	}
 }
 
@@ -89,9 +99,12 @@ type Scenario struct {
 
 	// Workload shape.
 	MessageBytes int64 `json:"message_bytes,omitempty"`
-	Groups       int   `json:"groups,omitempty"`  // collective
-	Senders      int   `json:"senders,omitempty"` // incast fan-in
-	Flows        int   `json:"flows,omitempty"`   // chaos ring flows
+	Groups       int   `json:"groups,omitempty"`      // collective
+	Senders      int   `json:"senders,omitempty"`     // incast fan-in
+	Flows        int   `json:"flows,omitempty"`       // chaos ring flows
+	QPs          int   `json:"qps,omitempty"`         // churn: total flows opened
+	Concurrency  int   `json:"concurrency,omitempty"` // churn: flows open at once
+	Faults       bool  `json:"faults,omitempty"`      // churn: seeded reboots + link flap
 
 	// Mechanics.
 	BurstBytes   int          `json:"burst_bytes,omitempty"`
@@ -126,6 +139,8 @@ func (s Scenario) Label() string {
 		return fmt.Sprintf("incast/%v/seed%d", s.LB, s.Seed)
 	case Chaos:
 		return fmt.Sprintf("chaos/seed%d", s.Seed)
+	case Churn:
+		return fmt.Sprintf("churn/%v/seed%d", s.LB, s.Seed)
 	default:
 		return fmt.Sprintf("%s/seed%d", s.Workload, s.Seed)
 	}
@@ -187,6 +202,30 @@ func (s Scenario) incastConfig() workload.IncastConfig {
 		LB:           s.LB,
 		DisablePFC:   s.DisablePFC,
 		Horizon:      s.Horizon,
+	}
+}
+
+func (s Scenario) churnConfig() workload.ChurnConfig {
+	return workload.ChurnConfig{
+		Seed:         s.Seed,
+		Leaves:       s.Leaves,
+		Spines:       s.Spines,
+		HostsPerLeaf: s.HostsPerLeaf,
+		Bandwidth:    s.Bandwidth,
+		LB:           s.LB,
+		Transport:    s.Transport,
+		QPs:          s.QPs,
+		Concurrency:  s.Concurrency,
+		MessageBytes: s.MessageBytes,
+		Faults:       s.Faults,
+		BurstBytes:   s.BurstBytes,
+		BufferBytes:  s.BufferBytes,
+		Horizon:      s.Horizon,
+		RTO:          s.RTO,
+		RTOBackoff:   s.RTOBackoff,
+		RTOMax:       s.RTOMax,
+		LossyControl: s.LossyControl,
+		ThemisCfg:    s.Themis.coreConfig(),
 	}
 }
 

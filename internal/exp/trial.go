@@ -37,6 +37,11 @@ type Trial struct {
 	// (motivation only, Fig. 1c).
 	AvgRateGbps float64 `json:"avg_rate_gbps,omitempty"`
 
+	// TableBytesPeak/TableBudgetBytes record the peak flow-table occupancy
+	// against the configured §4 budget (churn scenarios only).
+	TableBytesPeak   int `json:"table_bytes_peak,omitempty"`
+	TableBudgetBytes int `json:"table_budget_bytes,omitempty"`
+
 	// Counter blocks.
 	Sender     rnic.SenderStats `json:"sender"`
 	Middleware core.Stats       `json:"middleware"`
@@ -193,6 +198,26 @@ func run(sc Scenario, tr *trace.Tracer, reg *obs.Registry) Trial {
 		if res.Sender.DataPackets > 0 {
 			t.RetransRatio = float64(res.Sender.Retransmits) / float64(res.Sender.DataPackets)
 		}
+		t.Sender = res.Sender
+		t.Middleware = res.Middleware
+		t.Net = res.Net
+		t.Engine = res.Engine
+		t.Violations = res.Violations
+	case Churn:
+		cfg := sc.churnConfig()
+		cfg.Tracer, cfg.Metrics = tr, reg
+		res, err := workload.RunChurn(cfg)
+		if err != nil {
+			t.Err = err.Error()
+			return t
+		}
+		t.CCTMillis = res.End.Seconds() * 1e3
+		if res.Sender.DataPackets > 0 {
+			t.RetransRatio = float64(res.Sender.Retransmits) / float64(res.Sender.DataPackets)
+		}
+		t.GoodputGbps = res.GoodputGbps
+		t.TableBytesPeak = res.MaxTableBytes
+		t.TableBudgetBytes = res.TableBudgetBytes
 		t.Sender = res.Sender
 		t.Middleware = res.Middleware
 		t.Net = res.Net

@@ -197,9 +197,22 @@ func (n *Network) AttachHost(h packet.NodeID, recv func(*packet.Packet)) {
 }
 
 // SetTorPipeline installs a TorPipeline on switch sw (must host at least one
-// host port to ever see pipeline events).
+// host port to ever see pipeline events). The pipeline is immediately told
+// about every fabric port that is already down: LinkStateChanged otherwise
+// only reports edges, so a pipeline installed (or reinstalled after a switch
+// reboot) on a degraded switch would believe all links are up and, under
+// FallbackOnFailure, fail to disable itself.
 func (n *Network) SetTorPipeline(sw int, p TorPipeline) {
-	n.switches[sw].pipeline = p
+	s := n.switches[sw]
+	s.pipeline = p
+	if p == nil {
+		return
+	}
+	for port, up := range s.portUp {
+		if !up && !s.sw.Ports[port].IsHostPort() {
+			p.LinkStateChanged(port, false)
+		}
+	}
 }
 
 // SetLossFunc installs (or replaces) the loss-injection hook after

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"themis/internal/core"
 	"themis/internal/lb"
 	"themis/internal/packet"
 	"themis/internal/sim"
@@ -499,6 +500,44 @@ func TestPipelineLinkStateNotification(t *testing.T) {
 	n.SetLinkState(0, 1, true) // no-op: no event
 	if pl.linkEvts != 2 {
 		t.Fatalf("link events = %d, want 2", pl.linkEvts)
+	}
+}
+
+func TestPipelineInstallSyncsDownPorts(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 1)
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, tp, Config{})
+	n.SetLinkState(0, 1, false)
+	// A pipeline installed on an already-degraded switch must be told about
+	// the down port: LinkStateChanged alone only ever reports edges.
+	pl := &recordingPipeline{forcePort: -1}
+	n.SetTorPipeline(0, pl)
+	if pl.linkEvts != 1 {
+		t.Fatalf("synthetic link events on install = %d, want 1", pl.linkEvts)
+	}
+	n.SetLinkState(0, 1, true)
+	if pl.linkEvts != 2 {
+		t.Fatalf("link events after repair = %d, want 2", pl.linkEvts)
+	}
+}
+
+func TestThemisInstalledAfterLinkDown(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 1)
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, tp, Config{})
+	n.SetLinkState(0, 1, false)
+	th := core.New(tp, 0, core.Config{FallbackOnFailure: true})
+	n.SetTorPipeline(0, th)
+	if !th.Disabled() || th.DownPorts() != 1 {
+		t.Fatalf("Themis installed on degraded switch: disabled=%v downPorts=%d, want true/1",
+			th.Disabled(), th.DownPorts())
+	}
+	// The repair edge balances the synthetic down edge: no underflow, and
+	// the §6 fallback clears exactly when the last link comes back.
+	n.SetLinkState(0, 1, true)
+	if th.Disabled() || th.DownPorts() != 0 {
+		t.Fatalf("after repair: disabled=%v downPorts=%d, want false/0",
+			th.Disabled(), th.DownPorts())
 	}
 }
 

@@ -64,7 +64,7 @@ func TestGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, family := range []string{"wallclock", "maporder", "psncompare", "timeunits"} {
+	for _, family := range []string{"wallclock", "maporder", "psncompare", "timeunits", "hotpath"} {
 		t.Run(family, func(t *testing.T) {
 			dir := filepath.Join(modRoot, "internal", "lint", "testdata", "src", family)
 			ldr, err := NewLoader(modRoot)

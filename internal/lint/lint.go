@@ -2,7 +2,7 @@
 // enforces the two properties the whole repo rests on — bit-for-bit
 // deterministic simulation and the paper's protocol invariants.
 //
-// Four analyzer families run over ./internal/... and ./cmd/...:
+// Five analyzer families run over ./internal/... and ./cmd/...:
 //
 //   - no-wallclock / no-global-rand: simulation packages must not read the
 //     wall clock (time.Now, time.Since, ...) or the process-global math/rand
@@ -22,6 +22,11 @@
 //   - time-units: untyped integer literals added to or subtracted from
 //     sim.Time / sim.Duration values are raw picoseconds in disguise; scale
 //     a unit constant instead (e.g. 5*sim.Microsecond).
+//
+//   - hotpath: map iteration in any internal/core function reachable from a
+//     fabric.TorPipeline method body is O(registered flows) work per packet;
+//     keep incremental state instead, or annotate a reviewed event-rate sweep
+//     with `//lint:hotpath-ok`.
 //
 // The driver (cmd/themis-lint) exits non-zero on findings so the suite gates
 // `make verify`. Analyzers are built on go/parser + go/types only — no
@@ -66,7 +71,7 @@ type Analyzer struct {
 }
 
 // Analyzers is the full suite, in reporting order.
-var Analyzers = []*Analyzer{Wallclock, MapOrder, PSNCompare, TimeUnits}
+var Analyzers = []*Analyzer{Wallclock, MapOrder, PSNCompare, TimeUnits, Hotpath}
 
 // Run loads every package matched by patterns (relative to modRoot), runs the
 // suite with its per-analyzer package scoping, and returns the findings
@@ -132,6 +137,11 @@ func inScope(a *Analyzer, pkgPath, modPath string) bool {
 		return strings.HasPrefix(pkgPath, modPath+"/internal/")
 	case TimeUnits:
 		return pkgPath != modPath+"/internal/sim"
+	case Hotpath:
+		// The TorPipeline hot-path rule is about the middleware itself; other
+		// packages may legitimately name a method SelectUplink (e.g. stubs in
+		// fabric tests).
+		return pkgPath == modPath+"/internal/core"
 	default:
 		return true
 	}

@@ -22,7 +22,7 @@ var MapOrder = &Analyzer{
 func runMapOrder(pass *Pass) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pass.Pkg.Files {
-		ordered := orderedLines(pass.Fset, f)
+		ordered := annotatedLines(pass.Fset, f, "lint:ordered")
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -61,12 +61,12 @@ func runMapOrder(pass *Pass) []Diagnostic {
 	return diags
 }
 
-// orderedLines collects the source lines carrying a //lint:ordered marker.
-func orderedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+// annotatedLines collects the source lines carrying the given lint marker.
+func annotatedLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
 	lines := make(map[int]bool)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if strings.Contains(c.Text, "lint:ordered") {
+			if strings.Contains(c.Text, marker) {
 				lines[fset.Position(c.Pos()).Line] = true
 			}
 		}

@@ -1,0 +1,74 @@
+// Package hotpath is a themis-lint golden fixture for the hot-path analyzer:
+// map iteration is flagged in any function reachable, through same-package
+// calls, from a fabric.TorPipeline method body (SelectUplink,
+// OnDeliverToHost, FilterHostControl, LinkStateChanged), and the
+// //lint:hotpath-ok annotation suppresses the finding.
+package hotpath
+
+type pipeline struct {
+	flows map[uint32]int
+	ports map[int]bool
+}
+
+// SelectUplink is a per-packet entry point: a direct map range is flagged.
+func (p *pipeline) SelectUplink() int {
+	total := 0
+	for _, v := range p.flows { // want "map iteration in SelectUplink, which is reachable from a TorPipeline hot-path method"
+		total += v
+	}
+	return total
+}
+
+// OnDeliverToHost only reaches the map range through a helper.
+func (p *pipeline) OnDeliverToHost() {
+	p.recount()
+}
+
+// recount is transitively hot via OnDeliverToHost.
+func (p *pipeline) recount() {
+	for k := range p.flows { // want "map iteration in recount, which is reachable from a TorPipeline hot-path method"
+		_ = k
+	}
+}
+
+// FilterHostControl ranges a slice, which is ordered, bounded work: clean.
+func (p *pipeline) FilterHostControl(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// LinkStateChanged carries the audited annotation: link events are rare, so
+// a one-off sweep there was reviewed and accepted.
+func (p *pipeline) LinkStateChanged() {
+	for k := range p.ports { //lint:hotpath-ok
+		_ = k
+	}
+}
+
+// resync shows the annotation on the line above the loop.
+func (p *pipeline) resync() {
+	//lint:hotpath-ok — reviewed: runs only on link events
+	for k := range p.ports {
+		_ = k
+	}
+}
+
+// Stats is pull-based and never called from a hot method: not flagged.
+func (p *pipeline) Stats() int {
+	n := 0
+	for range p.flows {
+		n++
+	}
+	return n
+}
+
+// SelectUplink as a free function has no receiver, so it is not a pipeline
+// method and seeds nothing.
+func SelectUplink(m map[int]int) {
+	for k := range m {
+		_ = k
+	}
+}

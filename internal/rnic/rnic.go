@@ -143,6 +143,10 @@ type NIC struct {
 	senders   map[packet.QPID]*SenderQP
 	receivers map[packet.QPID]*ReceiverQP
 
+	// closedStats accumulates counters of senders retired by CloseSender so
+	// the additive rnic.* gauges stay monotone under flow churn.
+	closedStats SenderStats
+
 	// msgHist receives message completion latencies (nil when metrics are
 	// off; Observe on a nil histogram is a no-op).
 	msgHist *obs.Histogram
@@ -170,7 +174,7 @@ func (n *NIC) registerMetrics(r *obs.Registry) {
 	n.msgHist = r.Histogram("rnic.message_complete_us")
 	sum := func(field func(*SenderStats) uint64) func() float64 {
 		return func() float64 {
-			var total uint64
+			total := field(&n.closedStats)
 			// Summation is commutative; iteration order cannot leak.
 			for _, s := range n.senders { //lint:ordered
 				total += field(&s.stats)
@@ -246,3 +250,43 @@ func (n *NIC) Receiver(qp packet.QPID) *ReceiverQP { return n.receivers[qp] }
 
 // Senders iterates all sender QPs.
 func (n *NIC) Senders() map[packet.QPID]*SenderQP { return n.senders }
+
+// CloseSender tears down the send side of QP qp: timers and pending pacer
+// events are cancelled and the QP is removed from the dispatch table, so
+// stray ACKs/NACKs still in flight are simply dropped (HandlePacket ignores
+// unknown QPs, matching how a real RNIC treats a destroyed QP). The QP's
+// counters are folded into the NIC aggregate so the rnic.* gauges stay
+// monotone across churn. Unknown QPs are a no-op.
+func (n *NIC) CloseSender(qp packet.QPID) {
+	s, ok := n.senders[qp]
+	if !ok {
+		return
+	}
+	s.Close()
+	n.addClosed(&s.stats)
+	delete(n.senders, qp)
+}
+
+// CloseReceiver tears down the receive side of QP qp. Receivers hold no
+// timers, so this only removes the dispatch entry; late data packets for the
+// QP are dropped. Unknown QPs are a no-op.
+func (n *NIC) CloseReceiver(qp packet.QPID) {
+	delete(n.receivers, qp)
+}
+
+// addClosed accumulates a retired sender's counters (see registerMetrics).
+func (n *NIC) addClosed(s *SenderStats) {
+	n.closedStats.DataPackets += s.DataPackets
+	n.closedStats.Retransmits += s.Retransmits
+	n.closedStats.BytesSent += s.BytesSent
+	n.closedStats.GoodputBytes += s.GoodputBytes
+	n.closedStats.AcksRx += s.AcksRx
+	n.closedStats.NacksRx += s.NacksRx
+	n.closedStats.CnpsRx += s.CnpsRx
+	n.closedStats.Timeouts += s.Timeouts
+	n.closedStats.Completions += s.Completions
+}
+
+// ClosedSenderStats returns the accumulated counters of senders already
+// closed on this NIC.
+func (n *NIC) ClosedSenderStats() SenderStats { return n.closedStats }

@@ -392,3 +392,20 @@ func (s *SenderQP) onTimeout() {
 	s.rto.Reset(s.curRTO())
 	s.pump()
 }
+
+// Close quiesces the QP: the RTO timer, any scheduled pacer event, and the
+// DCQCN rate machine are cancelled so a retired sender leaves nothing in the
+// event queue. Posted-but-incomplete messages are abandoned without firing
+// their completion callbacks (the churn workload closes QPs only after the
+// transfer completes; an operator teardown mid-message models a torn-down
+// connection, whose completions will never arrive anyway).
+func (s *SenderQP) Close() {
+	s.rto.Stop()
+	if s.pumpEv != nil {
+		s.nic.engine.Cancel(s.pumpEv)
+		s.pumpEv = nil
+	}
+	if s.dcqcn != nil {
+		s.dcqcn.Stop()
+	}
+}

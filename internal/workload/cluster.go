@@ -276,6 +276,9 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.LB == Themis {
 		tcfg := cfg.ThemisCfg
 		tcfg.Pool = pool
+		// The lifecycle layer (idle eviction, last-touch LRU) needs virtual
+		// timestamps even without tracing, so the engine is always the clock.
+		tcfg.Clock = engine
 		if tcfg.Metrics == nil {
 			tcfg.Metrics = cfg.Metrics
 		}
@@ -284,7 +287,6 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		if cfg.Tracer != nil && tcfg.Tracer == nil {
 			tcfg.Tracer = cfg.Tracer
-			tcfg.Clock = engine
 		}
 		for _, sw := range t.Switches() {
 			if sw.Tier == 0 && len(sw.Hosts()) > 0 {
@@ -305,6 +307,18 @@ func (cl *Cluster) Conn(src, dst packet.NodeID) *Conn {
 	if cn, ok := cl.conns[key]; ok {
 		return cn
 	}
+	cn := cl.OpenFlow(src, dst)
+	cl.conns[key] = cn
+	return cn
+}
+
+// OpenFlow creates a fresh (uncached) connection from src to dst: a new QP,
+// NIC sender/receiver halves, and Themis registrations where the middleware
+// is deployed. Unlike Conn it may be called repeatedly for the same host pair
+// — the flow-churn workload opens and closes thousands of short-lived QPs.
+// A core.ErrTableFull registration is tolerated: the flow simply runs
+// unmanaged (ECMP + forwarded NACKs), which is the §4 degradation contract.
+func (cl *Cluster) OpenFlow(src, dst packet.NodeID) *Conn {
 	qp := cl.nextQP
 	cl.nextQP++
 	sport := cl.nextSport
@@ -312,15 +326,31 @@ func (cl *Cluster) Conn(src, dst packet.NodeID) *Conn {
 	s := cl.NICs[src].OpenSender(qp, dst, sport)
 	r := cl.NICs[dst].OpenReceiver(qp, src, sport)
 	for _, id := range cl.torIDs {
-		if err := cl.Themis[id].RegisterFlow(qp, src, dst, sport); err != nil {
+		if err := cl.Themis[id].RegisterFlow(qp, src, dst, sport); err != nil && err != core.ErrTableFull {
 			panic(err) // config error (e.g. direct spray on fat-tree): fail loudly
 		}
 	}
-	cn := &Conn{Sender: s, Receiver: r}
+	cn := &Conn{Sender: s, Receiver: r, cluster: cl, src: src, dst: dst}
 	r.OnDeliver = cn.onDeliver
-	cl.conns[key] = cn
 	cl.connList = append(cl.connList, cn)
 	return cn
+}
+
+// CloseFlow retires a connection opened by OpenFlow (or Conn): the Themis
+// entries are unregistered on every ToR, and both NIC halves are closed so
+// no timer or pacer event of the QP remains scheduled. Idempotent. The
+// Conn's counters remain readable (AggregateSenderStats keeps counting it).
+func (cl *Cluster) CloseFlow(cn *Conn) {
+	if cn.closed {
+		return
+	}
+	cn.closed = true
+	qp := cn.Sender.QP()
+	for _, id := range cl.torIDs {
+		cl.Themis[id].UnregisterFlow(qp)
+	}
+	cl.NICs[cn.src].CloseSender(qp)
+	cl.NICs[cn.dst].CloseReceiver(qp)
 }
 
 // Conns returns all connections created so far, in creation order.
@@ -426,8 +456,27 @@ func (cl *Cluster) ThemisStats() core.Stats {
 		agg.Bypassed += st.Bypassed
 		agg.Reboots += st.Reboots
 		agg.Relearns += st.Relearns
+		agg.Evictions += st.Evictions
+		agg.IdleEvictions += st.IdleEvictions
+		agg.TableFull += st.TableFull
+		agg.Unregistered += st.Unregistered
+		agg.UnknownNacksForwarded += st.UnknownNacksForwarded
 	}
 	return agg
+}
+
+// MaxTableBytes returns the largest current flow-table occupancy across ToRs
+// and the (uniform) configured budget. Both are zero on clusters without the
+// middleware.
+func (cl *Cluster) MaxTableBytes() (maxBytes, budget int) {
+	for _, id := range cl.torIDs {
+		th := cl.Themis[id]
+		if b := th.TableBytes(); b > maxBytes {
+			maxBytes = b
+		}
+		budget = th.TableBudgetBytes()
+	}
+	return maxBytes, budget
 }
 
 // Conn adapts one QP pair to collective.Conn and tracks in-order delivery
@@ -436,9 +485,25 @@ type Conn struct {
 	Sender   *rnic.SenderQP
 	Receiver *rnic.ReceiverQP
 
+	cluster  *Cluster
+	src, dst packet.NodeID
+	closed   bool
+
 	recvBytes int64
 	notifies  []connNotify
 }
+
+// Src returns the sending host.
+func (cn *Conn) Src() packet.NodeID { return cn.src }
+
+// Dst returns the receiving host.
+func (cn *Conn) Dst() packet.NodeID { return cn.dst }
+
+// Closed reports whether CloseFlow has retired this connection.
+func (cn *Conn) Closed() bool { return cn.closed }
+
+// Close retires the connection (see Cluster.CloseFlow).
+func (cn *Conn) Close() { cn.cluster.CloseFlow(cn) }
 
 type connNotify struct {
 	threshold int64
