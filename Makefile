@@ -55,10 +55,13 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-smoke is the CI-sized sweep: a 2-seed miniature grid through the
-# parallel experiment runner plus a 2-seed flow-churn grid exercising the
-# bounded flow table (budgeted-relearn / budgeted-ecmp / unbounded arms),
-# emitting the BENCH_smoke.json and BENCH_churn.json artifacts. Gated by
-# themis-lint so a lint regression fails before any simulation time is spent.
+# parallel experiment runner, a 2-seed flow-churn grid exercising the bounded
+# flow table (budgeted-relearn / budgeted-ecmp / unbounded arms), and a 2-seed
+# routing-convergence grid (per-hop delay × spray arm on the distributed
+# control plane), emitting the BENCH_smoke.json, BENCH_churn.json and
+# BENCH_convergence.json artifacts. Gated by themis-lint so a lint regression
+# fails before any simulation time is spent.
 bench-smoke: lint
 	$(GO) run ./cmd/themis-sim sweep -grid smoke -seeds 2 -parallel 2 -json BENCH_smoke.json
 	$(GO) run ./cmd/themis-sim sweep -grid churn -seeds 2 -parallel 2 -json BENCH_churn.json
+	$(GO) run ./cmd/themis-sim sweep -grid convergence -seeds 2 -parallel 2 -json BENCH_convergence.json

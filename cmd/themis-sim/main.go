@@ -8,9 +8,10 @@
 //	    [-bytes N] [-ti us] [-td us] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-seed S]
 //	    One Fig. 5 cell: tail completion time of the slowest group.
 //
-//	themis-sim run [-workload motivation|collective|incast|chaos|churn] [-lb ...] [-transport ...]
+//	themis-sim run [-workload motivation|collective|incast|chaos|churn|convergence] [-lb ...] [-transport ...]
 //	    [-pattern ...] [-bytes N] [-seed S] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-json out.json]
 //	    [-qps N] [-concurrency N] [-faults] [-table-budget BYTES] [-idle-timeout US] [-relearn]
+//	    [-distributed] [-convergence-delay US] [-drain]
 //	    [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
 //	    One declarative scenario through the experiment harness; prints the
 //	    trial record and optionally writes it as a JSON report. -metrics
@@ -20,9 +21,15 @@
 //	    ToR reboots + a link flap), and the lifecycle knobs: -table-budget
 //	    caps each instance's flow table at the §4 SRAM budget, -idle-timeout
 //	    evicts entries idle for that long, -relearn re-registers evicted
-//	    flows from live data packets.
+//	    flows from live data packets. -distributed replaces the instant
+//	    routing oracle with the per-switch BGP-style control plane and
+//	    -convergence-delay sets its per-hop message delay (delay 0 is the
+//	    oracle fixed point, bit-identical to oracle mode); the convergence
+//	    workload runs the seeded routing-stressor fault schedule (flap
+//	    storms, pod-uplink loss, maintenance drains) and -drain appends an
+//	    explicit maintenance drain to it.
 //
-//	themis-sim sweep [-grid fig5|fig1|smoke|chaos|churn|queue-factor|path-subset|loss-recovery]
+//	themis-sim sweep [-grid fig5|fig1|smoke|chaos|churn|convergence|queue-factor|path-subset|loss-recovery]
 //	    [-pattern allreduce|alltoall] [-bytes N] [-seed S] [-seeds N] [-parallel N] [-json out.json]
 //	    [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
 //	    A scenario grid through the parallel runner (default: the full Fig. 5
@@ -246,10 +253,10 @@ func runCollective(args []string) error {
 
 func parseWorkload(s string) (exp.Workload, error) {
 	switch exp.Workload(s) {
-	case exp.Motivation, exp.Collective, exp.Incast, exp.Chaos, exp.Churn:
+	case exp.Motivation, exp.Collective, exp.Incast, exp.Chaos, exp.Churn, exp.Convergence:
 		return exp.Workload(s), nil
 	default:
-		return "", fmt.Errorf("unknown workload %q (motivation|collective|incast|chaos|churn)", s)
+		return "", fmt.Errorf("unknown workload %q (motivation|collective|incast|chaos|churn|convergence)", s)
 	}
 }
 
@@ -283,7 +290,7 @@ func printTrial(t exp.Trial) {
 
 func runScenario(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	wl := fs.String("workload", "collective", "workload: motivation|collective|incast|chaos|churn")
+	wl := fs.String("workload", "collective", "workload: motivation|collective|incast|chaos|churn|convergence")
 	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall")
 	lbs := fs.String("lb", "themis", "load balancing arm")
 	transport := fs.String("transport", "nic-sr", "reliable transport: nic-sr|ideal|gbn")
@@ -299,6 +306,9 @@ func runScenario(args []string) error {
 	tableBudget := fs.Int("table-budget", 0, "flow-table budget per Themis instance, bytes (0 = unbounded)")
 	idleTimeout := fs.Int64("idle-timeout", 0, "evict flow-table entries idle this long, microseconds (0 = off)")
 	relearn := fs.Bool("relearn", false, "re-register evicted/lost flows from live data packets")
+	distributed := fs.Bool("distributed", false, "run the per-switch BGP-style routing plane instead of the oracle")
+	convergenceDelay := fs.Int64("convergence-delay", 0, "per-hop routing-message delay, microseconds (implies -distributed when > 0)")
+	drain := fs.Bool("drain", false, "convergence: append a maintenance drain to the fault schedule")
 	jsonOut := fs.String("json", "", "write the trial as a JSON report to this path")
 	metrics := fs.Bool("metrics", false, "snapshot the metrics registry into the trial record")
 	flightDir := fs.String("flight-dir", "", "arm a flight recorder; dump a JSONL trace here on failure")
@@ -329,6 +339,10 @@ func runScenario(args []string) error {
 		Leaves:       *leaves, Spines: *spines, HostsPerLeaf: *hosts,
 		Bandwidth: int64(*bw * 1e9),
 		QPs:       *qps, Concurrency: *concurrency, Faults: *faults,
+
+		DistributedRouting: *distributed || *convergenceDelay > 0,
+		ConvergenceDelay:   sim.Duration(*convergenceDelay) * sim.Microsecond,
+		Drain:              *drain,
 	}
 	sc.Themis.TableBudgetBytes = *tableBudget
 	sc.Themis.IdleTimeout = sim.Duration(*idleTimeout) * sim.Microsecond
@@ -370,7 +384,7 @@ func printSnapshot(s *obs.Snapshot) {
 
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	gridName := fs.String("grid", "fig5", "scenario grid: fig5|fig1|smoke|chaos|churn|queue-factor|path-subset|loss-recovery")
+	gridName := fs.String("grid", "fig5", "scenario grid: fig5|fig1|smoke|chaos|churn|convergence|queue-factor|path-subset|loss-recovery")
 	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall (fig5)")
 	bytes := fs.Int64("bytes", 300<<20, "collective size per group (fig5) / message size (fig1)")
 	seed := fs.Int64("seed", 1, "random seed (first seed for multi-seed grids)")
@@ -407,6 +421,8 @@ func runSweep(args []string) error {
 		grid = exp.ChaosGrid(*seed, *seeds)
 	case "churn":
 		grid = exp.ChurnGrid(*seed, *seeds)
+	case "convergence":
+		grid = exp.ConvergenceGrid(*seed, *seeds)
 	case "queue-factor":
 		grid = exp.QueueFactorGrid(*seed, []float64{0.05, 0.2, 0.5, 1.5, 3.0})
 	case "path-subset":

@@ -48,6 +48,21 @@ const (
 	// the monitoring plane detects it At+Duration later and fails the link
 	// over (FailLink); the link is repaired another Duration after that.
 	Blackhole
+	// FlapStorm cycles the target link down/up three times inside
+	// [At, At+Duration). Under a distributed routing plane with non-zero
+	// per-hop delay every cycle restarts convergence before the previous
+	// episode finishes — the stale-FIB stress test. Generate never draws the
+	// kinds below Blackhole; they belong to GenerateConvergence.
+	FlapStorm
+	// UplinkLoss takes down every uplink of the ToR Sw except its lowest at
+	// At and repairs them all at At+Duration: the pod-uplink-loss event that
+	// shrinks every remote ECMP group toward the ToR to a single path.
+	UplinkLoss
+	// Drain models a maintenance drain: the target link is administratively
+	// withdrawn from routing at At (traffic shifts away while the link still
+	// forwards), physically taken down at At+Duration/2, repaired at
+	// At+Duration and undrained after. Done right this is lossless.
+	Drain
 )
 
 // String returns the fault mnemonic.
@@ -65,6 +80,12 @@ func (k FaultKind) String() string {
 		return "tor-reboot"
 	case Blackhole:
 		return "blackhole"
+	case FlapStorm:
+		return "flap-storm"
+	case UplinkLoss:
+		return "uplink-loss"
+	case Drain:
+		return "drain"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -144,6 +165,70 @@ func Generate(seed int64, tp *topo.Topology) Scenario {
 		sc.Faults = append(sc.Faults, f)
 	}
 	return sc
+}
+
+// GenerateConvergence derives a routing-focused scenario deterministically
+// from seed: one to three faults drawn from the full kind set with a bias
+// toward the convergence stressors (flap storms, pod-uplink loss, drains)
+// that only matter when the cluster runs the distributed control plane with
+// a non-zero per-hop delay. The seed is XOR-folded so the same seed yields
+// an unrelated schedule from Generate's.
+func GenerateConvergence(seed int64, tp *topo.Topology) Scenario {
+	rng := rand.New(rand.NewSource(seed ^ 0xc0e7))
+	links := fabricLinks(tp)
+	tors := torSwitches(tp)
+	n := 1 + rng.Intn(3)
+	sc := Scenario{Seed: seed}
+	// Kind menu: the three routing stressors appear twice so roughly two
+	// thirds of the draws exercise the convergence machinery; the remainder
+	// mixes in the classic kinds so routing churn overlaps state loss and
+	// control-plane loss.
+	menu := []FaultKind{
+		FlapStorm, FlapStorm, UplinkLoss, UplinkLoss, Drain, Drain,
+		LinkFlap, TorReboot, CtrlLoss,
+	}
+	for i := 0; i < n; i++ {
+		kind := menu[rng.Intn(len(menu))]
+		f := Fault{
+			Kind:     kind,
+			At:       sim.Duration(10+rng.Intn(150)) * sim.Microsecond,
+			Duration: sim.Duration(40+rng.Intn(160)) * sim.Microsecond,
+		}
+		switch kind {
+		case TorReboot, UplinkLoss:
+			f.Sw = tors[rng.Intn(len(tors))]
+		case CtrlLoss:
+			f.Sw, f.Port = -1, -1
+			f.Rate = 0.002 + 0.02*rng.Float64()
+		default:
+			l := links[rng.Intn(len(links))]
+			f.Sw, f.Port = l[0], l[1]
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	return sc
+}
+
+// DrainFault returns a deterministic maintenance drain of the first ToR's
+// first uplink, placed late enough that transfers are in full flight. The
+// CLI's -drain flag and the convergence grid's drain arm both append it.
+func DrainFault(tp *topo.Topology) Fault {
+	tors := torSwitches(tp)
+	sw := tors[0]
+	port := -1
+	for pi := range tp.Switches()[sw].Ports {
+		if !tp.Switches()[sw].Ports[pi].IsHostPort() {
+			port = pi
+			break
+		}
+	}
+	return Fault{
+		Kind:     Drain,
+		At:       30 * sim.Microsecond,
+		Duration: 80 * sim.Microsecond,
+		Sw:       sw,
+		Port:     port,
+	}
 }
 
 // fabricLinks lists every (switch, port) fabric link endpoint.

@@ -10,6 +10,7 @@ import (
 	"themis/internal/packet"
 	"themis/internal/rnic"
 	"themis/internal/sim"
+	"themis/internal/topo"
 	"themis/internal/trace"
 	"themis/internal/workload"
 )
@@ -23,7 +24,17 @@ type Options struct {
 	Flows                        int          // cross-rack ring flows (default one per host)
 	MessageBytes                 int64        // per-flow transfer (default 2 MB)
 	Horizon                      sim.Duration // wall guard (default 2 s virtual)
-	Tracer                       *trace.Tracer
+	// LB selects the spray arm; the zero value means "harness default"
+	// (Themis) unless LBSet marks an explicit choice — workload.ECMP is the
+	// LBMode zero value, so a flag is needed to ask for it.
+	LB    workload.LBMode
+	LBSet bool
+	// DistributedRouting runs the per-switch BGP-style control plane instead
+	// of the routing oracle; ConvergenceDelay is its per-hop message delay
+	// (see internal/route).
+	DistributedRouting bool
+	ConvergenceDelay   sim.Duration
+	Tracer             *trace.Tracer
 	// Metrics, if non-nil, is the shared registry cluster components register
 	// their gauges on (see internal/obs).
 	Metrics *obs.Registry
@@ -59,6 +70,9 @@ func (o Options) withDefaults() Options {
 	if o.Horizon == 0 {
 		o.Horizon = 2 * sim.Second
 	}
+	if !o.LBSet {
+		o.LB = workload.Themis
+	}
 	return o
 }
 
@@ -92,19 +106,21 @@ func BuildCluster(sc Scenario, opt Options) (*workload.Cluster, error) {
 		Factor:    1.5,
 	}, 4*opt.Flows)
 	return workload.BuildCluster(workload.ClusterConfig{
-		Seed:         sc.Seed,
-		Leaves:       opt.Leaves,
-		Spines:       opt.Spines,
-		HostsPerLeaf: opt.HostsPerLeaf,
-		Bandwidth:    opt.Bandwidth,
-		LB:           workload.Themis,
-		LossyControl: true,
-		RTO:          200 * sim.Microsecond,
-		RTOBackoff:   2,
-		RTOMax:       10 * sim.Millisecond,
-		ThemisCfg:    core.Config{Relearn: true, TableBudgetBytes: budget},
-		Tracer:       opt.Tracer,
-		Metrics:      opt.Metrics,
+		Seed:               sc.Seed,
+		Leaves:             opt.Leaves,
+		Spines:             opt.Spines,
+		HostsPerLeaf:       opt.HostsPerLeaf,
+		Bandwidth:          opt.Bandwidth,
+		LB:                 opt.LB,
+		LossyControl:       true,
+		RTO:                200 * sim.Microsecond,
+		RTOBackoff:         2,
+		RTOMax:             10 * sim.Millisecond,
+		DistributedRouting: opt.DistributedRouting,
+		ConvergenceDelay:   opt.ConvergenceDelay,
+		ThemisCfg:          core.Config{Relearn: true, TableBudgetBytes: budget},
+		Tracer:             opt.Tracer,
+		Metrics:            opt.Metrics,
 	})
 }
 
@@ -169,6 +185,19 @@ func RunScenario(sc Scenario, opt Options) (*Result, error) {
 // never on invariant violations — those are reported per result so a sweep
 // surfaces every bad seed at once.
 func Soak(first int64, count int, opt Options) ([]*Result, error) {
+	return soak(first, count, opt, Generate)
+}
+
+// SoakConvergence is Soak with the routing-focused generator: flap storms,
+// pod-uplink loss and maintenance drains (plus the classic kinds) against
+// whatever routing mode opt selects. Run it once with DistributedRouting
+// and a non-zero ConvergenceDelay and once against the oracle to compare
+// graceful degradation across reconvergence windows.
+func SoakConvergence(first int64, count int, opt Options) ([]*Result, error) {
+	return soak(first, count, opt, GenerateConvergence)
+}
+
+func soak(first int64, count int, opt Options, gen func(int64, *topo.Topology) Scenario) ([]*Result, error) {
 	opt = opt.withDefaults()
 	// The generator needs the topology; build a throwaway cluster once.
 	probe, err := BuildCluster(Scenario{Seed: first}, opt)
@@ -178,7 +207,7 @@ func Soak(first int64, count int, opt Options) ([]*Result, error) {
 	var out []*Result
 	for i := 0; i < count; i++ {
 		seed := first + int64(i)
-		sc := Generate(seed, probe.Topo)
+		sc := gen(seed, probe.Topo)
 		res, err := RunScenario(sc, opt)
 		if err != nil {
 			return out, fmt.Errorf("chaos: seed %d: %w", seed, err)

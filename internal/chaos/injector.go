@@ -96,6 +96,51 @@ func (in *Injector) Install() {
 				in.recordFault(trace.FaultLinkUp, f.Sw, f.Port)
 				in.cl.RepairLink(f.Sw, f.Port)
 			})
+		case FlapStorm:
+			// Three down/up cycles inside the window. With a distributed
+			// routing plane each cycle restarts convergence before the last
+			// one settles; with the oracle each is an instant recompute.
+			cycle := f.Duration / 3
+			for c := 0; c < 3; c++ {
+				down := start + sim.Time(sim.Duration(c)*cycle)
+				up := down + sim.Time(cycle/2)
+				eng.At(down, func() {
+					in.recordFault(trace.FaultLinkDown, f.Sw, f.Port)
+					in.cl.FailLink(f.Sw, f.Port)
+				})
+				eng.At(up, func() {
+					in.recordFault(trace.FaultLinkUp, f.Sw, f.Port)
+					in.cl.RepairLink(f.Sw, f.Port)
+				})
+			}
+		case UplinkLoss:
+			// Every uplink of ToR f.Sw but the lowest goes down together —
+			// remote ECMP groups toward the rack collapse to a single path.
+			ports := in.uplinksOf(f.Sw)
+			for _, p := range ports[1:] {
+				p := p
+				eng.At(start, func() {
+					in.recordFault(trace.FaultLinkDown, f.Sw, p)
+					in.cl.FailLink(f.Sw, p)
+				})
+				eng.At(end, func() {
+					in.recordFault(trace.FaultLinkUp, f.Sw, p)
+					in.cl.RepairLink(f.Sw, p)
+				})
+			}
+		case Drain:
+			// Maintenance order: withdraw from routing first, let traffic
+			// shift away, then take the link down; repair, then readmit.
+			eng.At(start, func() { in.cl.DrainLink(f.Sw, f.Port) })
+			eng.At(start+sim.Time(f.Duration/2), func() {
+				in.recordFault(trace.FaultLinkDown, f.Sw, f.Port)
+				in.cl.FailLink(f.Sw, f.Port)
+			})
+			eng.At(end, func() {
+				in.recordFault(trace.FaultLinkUp, f.Sw, f.Port)
+				in.cl.RepairLink(f.Sw, f.Port)
+				in.cl.UndrainLink(f.Sw, f.Port)
+			})
 		}
 	}
 	if len(in.rules) > 0 {
@@ -116,6 +161,18 @@ func (in *Injector) lossFunc(pkt *packet.Packet, sw, port int) bool {
 		}
 	}
 	return false
+}
+
+// uplinksOf lists switch sw's fabric ports in ascending order.
+func (in *Injector) uplinksOf(sw int) []int {
+	var ports []int
+	s := in.cl.Topo.Switches()[sw]
+	for pi := range s.Ports {
+		if !s.Ports[pi].IsHostPort() {
+			ports = append(ports, pi)
+		}
+	}
+	return ports
 }
 
 func (in *Injector) recordFault(op trace.Op, sw, port int) {

@@ -27,6 +27,14 @@ import (
 //     NACKs for evicted/unknown/rejected QPs were forwarded, never blocked.
 //  8. No armed compensation survives once every transfer completed: each
 //     resolved as cancelled (BePSN arrived) or fired (confirmed loss).
+//  9. The routing plane is converged after drain: every per-switch FIB
+//     matches the oracle shortest paths for the final link state. A stale
+//     FIB after quiescence means a lost withdrawal or a stuck session.
+//  10. Zero steady-state loop drops: a TTL expiry while the plane reported
+//     quiescence (on a packet injected in the current route epoch) is a
+//     forwarding loop in a converged FIB — never acceptable.
+//  11. No maintenance drain is left outstanding (scenarios undrain what
+//     they drain, just as they repair what they fail).
 func CheckInvariants(cl *workload.Cluster, remaining int) []string {
 	var v []string
 	if remaining != 0 {
@@ -80,6 +88,15 @@ func CheckInvariants(cl *workload.Cluster, remaining int) []string {
 	if blocked := cl.Net.Counters().Blocked; blocked != blockedVerdicts {
 		v = append(v, fmt.Sprintf("blocked-NACK conservation broken: fabric blocked %d != middleware verdicts %d",
 			blocked, blockedVerdicts))
+	}
+	if err := cl.Net.RouteConverged(); err != nil {
+		v = append(v, fmt.Sprintf("routing plane not converged after drain: %v", err))
+	}
+	if drops := cl.Net.Counters().SteadyLoopDrops; drops != 0 {
+		v = append(v, fmt.Sprintf("%d TTL expiries while routing reported quiescence (steady-state forwarding loop)", drops))
+	}
+	if n := cl.DrainedLinks(); n != 0 {
+		v = append(v, fmt.Sprintf("%d maintenance drains left outstanding", n))
 	}
 	return v
 }

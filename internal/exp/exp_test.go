@@ -31,6 +31,10 @@ func testGrid() []Scenario {
 		MessageBytes: 512 << 10,
 	})
 	grid = append(grid, ChurnGrid(5, 1)...)
+	// First four convergence cells: the three delay-0 spray arms plus one
+	// slow-control-plane cell, so the determinism check covers the
+	// distributed routing plane with and without in-flight route messages.
+	grid = append(grid, ConvergenceGrid(6, 1)[:4]...)
 	return grid
 }
 
@@ -144,6 +148,16 @@ func TestGridShapes(t *testing.T) {
 	if g := ChaosGrid(5, 3); len(g) != 3 || g[2].Seed != 7 {
 		t.Fatalf("ChaosGrid = %+v", g)
 	}
+	// 3 delays × 3 arms per seed, every cell on the distributed plane.
+	if g := ConvergenceGrid(5, 2); len(g) != 18 {
+		t.Fatalf("ConvergenceGrid = %d cells, want 18", len(g))
+	} else {
+		for _, sc := range g {
+			if !sc.DistributedRouting {
+				t.Fatalf("%s: not distributed", sc.Name)
+			}
+		}
+	}
 	// Names must be unique within each grid — they key the artifact rows.
 	for _, grid := range [][]Scenario{
 		Fig5Grid(1, 3<<20, collective.AllToAll),
@@ -153,6 +167,7 @@ func TestGridShapes(t *testing.T) {
 		LossRecoveryGrid(7),
 		SmokeGrid(1, 2),
 		ChurnGrid(7, 2),
+		ConvergenceGrid(7, 2),
 	} {
 		seen := map[string]bool{}
 		for _, sc := range grid {
@@ -198,6 +213,76 @@ func TestChurnGridTrials(t *testing.T) {
 	}
 	if unbounded.Middleware.Evictions != 0 || unbounded.Middleware.TableFull != 0 {
 		t.Errorf("unbounded baseline evicted: %+v", unbounded.Middleware)
+	}
+}
+
+// Delay-0 distributed routing is defined to be the oracle fixed point: every
+// FIB cold-starts converged and route updates apply in zero engine events, so
+// a trial's entire JSON record — engine event counts included — must be
+// byte-identical to the oracle mode it generalizes. Chaos cells are skipped
+// (their harness pins its own routing options) and convergence cells are
+// skipped (they are always distributed); everything else runs both ways.
+func TestOracleDistributedIdentity(t *testing.T) {
+	var oracle, dist []Scenario
+	for _, sc := range testGrid() {
+		if sc.Workload == Chaos || sc.Workload == Convergence {
+			continue
+		}
+		sc.Name = sc.Label() // pin before toggling so labels match
+		sc.DistributedRouting = false
+		sc.ConvergenceDelay = 0
+		oracle = append(oracle, sc)
+		sc.DistributedRouting = true
+		dist = append(dist, sc)
+	}
+	a := NewReport("identity", Runner{Parallel: 4}.Run(oracle))
+	b := NewReport("identity", Runner{Parallel: 4}.Run(dist))
+	for i := range b.Trials {
+		if b.Trials[i].Err != "" {
+			t.Fatalf("%s: %s", b.Trials[i].Name, b.Trials[i].Err)
+		}
+		// Normalize the one intended difference; all behaviour must match.
+		b.Trials[i].Scenario.DistributedRouting = false
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("delay-0 distributed diverged from oracle:\n--- oracle ---\n%s\n--- distributed ---\n%s", aj, bj)
+	}
+}
+
+// TestConvergenceGridTrials runs one convergence seed (all delays × arms)
+// through the harness: no cell may error or violate an invariant, and the
+// slow-control-plane cells must not be vacuous — at least one of them has to
+// show fault-induced damage.
+func TestConvergenceGridTrials(t *testing.T) {
+	trials := Runner{Parallel: 4}.Run(ConvergenceGrid(3, 1))
+	if len(trials) != 9 {
+		t.Fatalf("trials = %d, want 9", len(trials))
+	}
+	damaged := false
+	for _, tr := range trials {
+		if tr.Err != "" {
+			t.Fatalf("%s failed: %s", tr.Name, tr.Err)
+		}
+		if len(tr.Violations) != 0 {
+			t.Errorf("%s: violations %v", tr.Name, tr.Violations)
+		}
+		if tr.CCTMillis <= 0 {
+			t.Errorf("%s: CCT = %g", tr.Name, tr.CCTMillis)
+		}
+		if tr.Net.DataDrops+tr.Net.LinkDrops+tr.Net.LoopDrops > 0 || tr.Sender.Timeouts > 0 {
+			damaged = true
+		}
+	}
+	if !damaged {
+		t.Fatal("no convergence cell showed any fault-induced damage")
 	}
 }
 

@@ -174,6 +174,52 @@ func ChaosGrid(first int64, count int) []Scenario {
 	return grid
 }
 
+// ConvergenceDelays are the per-hop control-plane delays the convergence grid
+// sweeps: 0 (the oracle fixed point — distributed mode must match it
+// byte-for-byte), a fast modern control plane, and a deliberately slow one
+// where reconvergence windows dominate.
+func ConvergenceDelays() []sim.Duration {
+	return []sim.Duration{0, 5 * sim.Microsecond, 50 * sim.Microsecond}
+}
+
+// ConvergenceGrid returns the routing-reconvergence sweep for seeds
+// [first, first+count): per seed, each per-hop delay crossed with three spray
+// arms — Themis with relearn (re-pins sprayed flows after topology change),
+// plain ECMP, and flowlet switching — all on the distributed per-switch
+// control plane, with the seeded routing-stressor fault schedule (flap
+// storms, pod-uplink loss, maintenance drains).
+func ConvergenceGrid(first int64, count int) []Scenario {
+	arms := []struct {
+		name  string
+		lb    workload.LBMode
+		knobs ThemisKnobs
+	}{
+		{"themis-relearn", workload.Themis, ThemisKnobs{Relearn: true, FallbackOnFailure: true}},
+		{"ecmp", workload.ECMP, ThemisKnobs{}},
+		{"flowlet", workload.Flowlet, ThemisKnobs{}},
+	}
+	var grid []Scenario
+	for i := 0; i < count; i++ {
+		seed := first + int64(i)
+		for _, d := range ConvergenceDelays() {
+			for _, arm := range arms {
+				sc := Scenario{
+					Name: fmt.Sprintf("convergence/%s/d%dus/seed%d",
+						arm.name, int64(d/sim.Microsecond), seed),
+					Workload:           Convergence,
+					Seed:               seed,
+					LB:                 arm.lb,
+					DistributedRouting: true,
+					ConvergenceDelay:   d,
+					Themis:             arm.knobs,
+				}
+				grid = append(grid, sc)
+			}
+		}
+	}
+	return grid
+}
+
 // churnQPs is the offered QP count of the churn grid; the budgeted arms get
 // SRAM for a tenth of it.
 const churnQPs = 120

@@ -41,6 +41,13 @@ const (
 	// QPs (QPs total, Concurrency at a time) against a bounded flow table,
 	// with lifecycle invariants checked (see workload.RunChurn).
 	Churn Workload = "churn"
+	// Convergence is the routing-focused soak: the fault schedule comes from
+	// chaos.GenerateConvergence (flap storms, pod-uplink loss, maintenance
+	// drains) and the cluster runs the distributed per-switch control plane
+	// with ConvergenceDelay per hop, so forwarding during the windows uses
+	// honestly stale FIBs. Invariants (including FIB convergence and zero
+	// steady-state loop drops) are checked.
+	Convergence Workload = "convergence"
 )
 
 // ThemisKnobs is the serializable subset of core.Config — the middleware
@@ -116,6 +123,14 @@ type Scenario struct {
 	RTOBackoff   float64      `json:"rto_backoff,omitempty"`
 	RTOMax       sim.Duration `json:"rto_max,omitempty"`
 
+	// Routing plane. DistributedRouting replaces the instant global oracle
+	// with the per-switch BGP-style control plane (see internal/route);
+	// ConvergenceDelay is its per-hop message delay. Drain appends a
+	// maintenance drain to a convergence scenario's fault schedule.
+	DistributedRouting bool         `json:"distributed_routing,omitempty"`
+	ConvergenceDelay   sim.Duration `json:"convergence_delay,omitempty"`
+	Drain              bool         `json:"drain,omitempty"`
+
 	// Middleware ablation knobs.
 	Themis ThemisKnobs `json:"themis,omitempty"`
 
@@ -141,6 +156,9 @@ func (s Scenario) Label() string {
 		return fmt.Sprintf("chaos/seed%d", s.Seed)
 	case Churn:
 		return fmt.Sprintf("churn/%v/seed%d", s.LB, s.Seed)
+	case Convergence:
+		return fmt.Sprintf("convergence/%v/d%dus/seed%d",
+			s.LB, int64(s.ConvergenceDelay/sim.Microsecond), s.Seed)
 	default:
 		return fmt.Sprintf("%s/seed%d", s.Workload, s.Seed)
 	}
@@ -172,6 +190,9 @@ func (s Scenario) collectiveConfig() workload.CollectiveConfig {
 		ThemisCfg:      s.Themis.coreConfig(),
 		DropEveryNData: s.DropEveryNData,
 		LinkFail:       s.LinkFail,
+
+		DistributedRouting: s.DistributedRouting,
+		ConvergenceDelay:   s.ConvergenceDelay,
 	}
 }
 
@@ -188,6 +209,9 @@ func (s Scenario) motivationConfig() workload.MotivationConfig {
 		RTO:          s.RTO,
 		RTOBackoff:   s.RTOBackoff,
 		RTOMax:       s.RTOMax,
+
+		DistributedRouting: s.DistributedRouting,
+		ConvergenceDelay:   s.ConvergenceDelay,
 	}
 }
 
@@ -202,6 +226,9 @@ func (s Scenario) incastConfig() workload.IncastConfig {
 		LB:           s.LB,
 		DisablePFC:   s.DisablePFC,
 		Horizon:      s.Horizon,
+
+		DistributedRouting: s.DistributedRouting,
+		ConvergenceDelay:   s.ConvergenceDelay,
 	}
 }
 
@@ -226,6 +253,9 @@ func (s Scenario) churnConfig() workload.ChurnConfig {
 		RTOMax:       s.RTOMax,
 		LossyControl: s.LossyControl,
 		ThemisCfg:    s.Themis.coreConfig(),
+
+		DistributedRouting: s.DistributedRouting,
+		ConvergenceDelay:   s.ConvergenceDelay,
 	}
 }
 
@@ -238,5 +268,25 @@ func (s Scenario) chaosOptions() chaos.Options {
 		Flows:        s.Flows,
 		MessageBytes: s.MessageBytes,
 		Horizon:      s.Horizon,
+	}
+}
+
+// convergenceOptions lowers a convergence scenario to the chaos harness. The
+// LB arm is explicit (LBSet) so an ECMP arm — the LBMode zero value — is not
+// silently replaced with the harness default.
+func (s Scenario) convergenceOptions() chaos.Options {
+	return chaos.Options{
+		Leaves:       s.Leaves,
+		Spines:       s.Spines,
+		HostsPerLeaf: s.HostsPerLeaf,
+		Bandwidth:    s.Bandwidth,
+		Flows:        s.Flows,
+		MessageBytes: s.MessageBytes,
+		Horizon:      s.Horizon,
+
+		LB:                 s.LB,
+		LBSet:              true,
+		DistributedRouting: s.DistributedRouting,
+		ConvergenceDelay:   s.ConvergenceDelay,
 	}
 }

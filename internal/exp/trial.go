@@ -203,6 +203,32 @@ func run(sc Scenario, tr *trace.Tracer, reg *obs.Registry) Trial {
 		t.Net = res.Net
 		t.Engine = res.Engine
 		t.Violations = res.Violations
+	case Convergence:
+		opt := sc.convergenceOptions()
+		opt.Tracer, opt.Metrics = tr, reg
+		probe, err := chaos.BuildCluster(chaos.Scenario{Seed: sc.Seed}, opt)
+		if err != nil {
+			t.Err = err.Error()
+			return t
+		}
+		csc := chaos.GenerateConvergence(sc.Seed, probe.Topo)
+		if sc.Drain {
+			csc.Faults = append(csc.Faults, chaos.DrainFault(probe.Topo))
+		}
+		res, err := chaos.RunScenario(csc, opt)
+		if err != nil {
+			t.Err = err.Error()
+			return t
+		}
+		t.CCTMillis = res.End.Seconds() * 1e3
+		if res.Sender.DataPackets > 0 {
+			t.RetransRatio = float64(res.Sender.Retransmits) / float64(res.Sender.DataPackets)
+		}
+		t.Sender = res.Sender
+		t.Middleware = res.Middleware
+		t.Net = res.Net
+		t.Engine = res.Engine
+		t.Violations = res.Violations
 	case Churn:
 		cfg := sc.churnConfig()
 		cfg.Tracer, cfg.Metrics = tr, reg

@@ -17,6 +17,7 @@ import (
 	"themis/internal/lb"
 	"themis/internal/obs"
 	"themis/internal/packet"
+	"themis/internal/route"
 	"themis/internal/sim"
 	"themis/internal/topo"
 	"themis/internal/trace"
@@ -101,6 +102,12 @@ type Config struct {
 	// Metrics, if non-nil, exposes the network-wide Counters as "fabric.*"
 	// gauges (pull-based: read only at Snapshot time, zero hot-path cost).
 	Metrics *obs.Registry
+	// Routing selects how candidate egress ports react to link events:
+	// route.Oracle (default) is the historical instant global recompute;
+	// route.Distributed gives every switch its own BGP-style RIB/FIB that
+	// reconverges hop-by-hop with Routing.PerHopDelay per message, so
+	// forwarding during the window uses honestly stale state.
+	Routing route.Config
 }
 
 // Counters aggregates network-wide statistics.
@@ -112,6 +119,17 @@ type Counters struct {
 	Blocked     uint64 // control packets blocked by a ToR pipeline
 	Compensated uint64 // packets injected by ToR pipelines (compensation NACKs)
 	LinkDrops   uint64 // packets dropped on failed links
+	// LoopDrops counts packets whose TTL reached zero — forwarding loops,
+	// expected only inside routing reconvergence windows.
+	LoopDrops uint64
+	// SteadyLoopDrops is the subset of LoopDrops that indict the routing
+	// plane: the packet was injected under the current quiescent epoch, so
+	// no reconvergence window can excuse the loop. Must stay zero.
+	SteadyLoopDrops uint64
+	// WatchdogFires counts PFC deadlock-watchdog activations; WatchdogDrops
+	// the data packets those flushes discarded (see PFCConfig.WatchdogTimeout).
+	WatchdogFires uint64
+	WatchdogDrops uint64
 }
 
 // Network is the running dataplane.
@@ -124,9 +142,17 @@ type Network struct {
 	hostRecv []func(*packet.Packet)
 	hostUp   []*outQueue // host→ToR serializers, indexed by host
 
-	// routeOverlay is the failure-aware candidate table (nil when every
-	// link is up).
-	routeOverlay [][][]int
+	// plane is the distributed control plane (nil in oracle mode).
+	plane *route.Plane
+
+	// Oracle-mode incremental reconvergence state: when any fabric link is
+	// down or drained, per-destination candidate tables are computed lazily
+	// on first use and invalidated in O(switches) on the next link event,
+	// instead of paying a fabric-wide recompute on every SetLinkState edge.
+	downLinks    int // fabric links currently down
+	drainedLinks int // fabric links currently drained
+	dstValid     []bool
+	dstRoutes    [][][]int // [dstTor][sw] = candidate egress ports
 
 	counters Counters
 	seqNo    uint64
@@ -151,6 +177,12 @@ func NewNetwork(engine *sim.Engine, t *topo.Topology, cfg Config) *Network {
 	n.switches = make([]*swInst, t.NumSwitches())
 	for _, sw := range t.Switches() {
 		n.switches[sw.ID] = newSwInst(n, sw)
+	}
+	if cfg.Routing.Mode == route.Distributed {
+		n.plane = route.NewPlane(engine, t, cfg.Routing)
+	} else {
+		n.dstValid = make([]bool, t.NumSwitches())
+		n.dstRoutes = make([][][]int, t.NumSwitches())
 	}
 	for h := 0; h < t.NumHosts(); h++ {
 		a := t.HostAttach(packet.NodeID(h))
@@ -180,6 +212,14 @@ func (n *Network) registerMetrics(r *obs.Registry) {
 	r.GaugeFunc("fabric.blocked", func() float64 { return float64(n.counters.Blocked) })
 	r.GaugeFunc("fabric.compensated", func() float64 { return float64(n.counters.Compensated) })
 	r.GaugeFunc("fabric.link_drops", func() float64 { return float64(n.counters.LinkDrops) })
+	r.GaugeFunc("fabric.loop_drops", func() float64 { return float64(n.counters.LoopDrops) })
+	r.GaugeFunc("fabric.steady_loop_drops", func() float64 { return float64(n.counters.SteadyLoopDrops) })
+	r.GaugeFunc("fabric.watchdog_fires", func() float64 { return float64(n.counters.WatchdogFires) })
+	r.GaugeFunc("fabric.watchdog_drops", func() float64 { return float64(n.counters.WatchdogDrops) })
+	if n.plane != nil {
+		r.GaugeFunc("route.msgs", func() float64 { return float64(n.plane.MessagesSent()) })
+		r.GaugeFunc("route.episodes", func() float64 { return float64(n.plane.Episodes()) })
+	}
 }
 
 // Engine returns the simulation engine.
@@ -222,10 +262,15 @@ func (n *Network) SetLossFunc(f func(pkt *packet.Packet, sw, port int) bool) {
 }
 
 // Inject transmits pkt from host h over its access link. The packet is
-// stamped with a global sequence number for tracing.
+// stamped with a global sequence number for tracing, a hop limit (unless a
+// test pre-set a smaller one) and the current routing epoch.
 func (n *Network) Inject(h packet.NodeID, pkt *packet.Packet) {
 	n.seqNo++
 	pkt.SeqNo = n.seqNo
+	if pkt.TTL == 0 {
+		pkt.TTL = packet.DefaultTTL
+	}
+	pkt.RouteEpoch = n.routeEpoch()
 	n.cfg.Tracer.RecordPacket(n.engine.Now(), trace.HostTx, -1, -1, pkt)
 	n.hostUp[h].enqueue(pkt)
 }
@@ -254,48 +299,134 @@ func (n *Network) PortTxStats(sw, port int) (pkts, bytes uint64) {
 // SetLinkState brings the link at (sw, port) up or down. Both directions of
 // the link change state, packets already queued on a downed port are dropped
 // as they reach the head of the queue, ToR pipelines are notified, and the
-// fabric's routing reconverges: candidate sets everywhere exclude paths
-// through failed links (as a routing protocol would after detection).
+// routing layer reacts: in oracle mode candidate sets everywhere immediately
+// exclude paths through failed links; in distributed mode only the two
+// endpoint switches react immediately and everyone else learns hop-by-hop.
+// Repeated same-state calls are no-ops.
 func (n *Network) SetLinkState(sw, port int, up bool) {
 	s := n.switches[sw]
 	p := &s.sw.Ports[port]
 	if p.IsHostPort() {
 		panic("fabric: SetLinkState on a host port")
 	}
-	s.setPortState(port, up)
-	peer := n.switches[p.PeerSwitch]
-	peer.setPortState(p.PeerPort, up)
-	n.recomputeRoutes()
-}
-
-// recomputeRoutes rebuilds the failure-aware candidate overlay.
-func (n *Network) recomputeRoutes() {
-	anyDown := false
-	for _, s := range n.switches {
-		if s.anyDown {
-			anyDown = true
-			break
-		}
-	}
-	if !anyDown {
-		n.routeOverlay = nil
+	if s.portUp[port] == up {
 		return
 	}
-	n.routeOverlay = n.topology.RoutesWithFilter(func(sw, port int) bool {
-		return n.switches[sw].portUp[port]
-	})
+	s.setPortState(port, up)
+	n.switches[p.PeerSwitch].setPortState(p.PeerPort, up)
+	if up {
+		n.downLinks--
+	} else {
+		n.downLinks++
+	}
+	if n.plane != nil {
+		n.plane.SetLinkState(sw, port, up)
+		return
+	}
+	n.invalidateOracle()
+}
+
+// SetLinkDrained marks the fabric link at (sw, port) as drained for
+// maintenance (or restores it). A drained link stays physically up — packets
+// already heading for it still cross — but the routing layer withdraws it
+// from candidate sets, which is the whole point of drain-before-shutdown:
+// by the time the operator calls SetLinkState(down), no route uses the link
+// and the drop causes zero churn. Repeated same-state calls are no-ops.
+func (n *Network) SetLinkDrained(sw, port int, drained bool) {
+	s := n.switches[sw]
+	p := &s.sw.Ports[port]
+	if p.IsHostPort() {
+		panic("fabric: SetLinkDrained on a host port")
+	}
+	if s.portDrained[port] == drained {
+		return
+	}
+	s.portDrained[port] = drained
+	n.switches[p.PeerSwitch].portDrained[p.PeerPort] = drained
+	if drained {
+		n.drainedLinks++
+	} else {
+		n.drainedLinks--
+	}
+	if n.plane != nil {
+		n.plane.SetDrained(sw, port, drained)
+		return
+	}
+	n.invalidateOracle()
+}
+
+// DrainedLinks returns the number of fabric links currently drained.
+func (n *Network) DrainedLinks() int { return n.drainedLinks }
+
+// invalidateOracle drops the oracle-mode per-destination route cache in
+// O(switches); entries refill lazily on the next forwarding decision that
+// needs them (see candidatePorts).
+func (n *Network) invalidateOracle() {
+	for i := range n.dstValid {
+		n.dstValid[i] = false
+	}
+}
+
+// portUsable is the routing view of a link end: physically up and not
+// drained.
+func (n *Network) portUsable(sw, port int) bool {
+	s := n.switches[sw]
+	return s.portUp[port] && !s.portDrained[port]
 }
 
 // candidatePorts returns the (failure-aware) equal-cost egress set at sw for
 // dst.
 func (n *Network) candidatePorts(sw int, dst packet.NodeID) []int {
-	if n.routeOverlay == nil {
-		return n.topology.CandidatePorts(sw, dst)
-	}
 	if _, ok := n.switches[sw].sw.HostPort(dst); ok {
 		return n.topology.CandidatePorts(sw, dst) // host ports never fail here
 	}
-	return n.routeOverlay[sw][n.topology.ToROf(dst)]
+	if n.plane != nil {
+		return n.plane.Candidates(sw, n.topology.ToROf(dst))
+	}
+	if n.downLinks == 0 && n.drainedLinks == 0 {
+		return n.topology.CandidatePorts(sw, dst)
+	}
+	dstTor := n.topology.ToROf(dst)
+	if !n.dstValid[dstTor] {
+		n.dstRoutes[dstTor] = n.topology.RoutesForDst(dstTor, n.portUsable)
+		n.dstValid[dstTor] = true
+	}
+	return n.dstRoutes[dstTor][sw]
+}
+
+// routeEpoch returns the current convergence epoch (0 in oracle mode, which
+// is permanently converged).
+func (n *Network) routeEpoch() uint32 {
+	if n.plane != nil {
+		return n.plane.Epoch()
+	}
+	return 0
+}
+
+// routeQuiescent reports whether the routing layer has no messages in
+// flight; oracle mode is always quiescent.
+func (n *Network) routeQuiescent() bool {
+	if n.plane != nil {
+		return n.plane.Quiescent()
+	}
+	return true
+}
+
+// RouteQuiescent is the exported view of routeQuiescent for invariants.
+func (n *Network) RouteQuiescent() bool { return n.routeQuiescent() }
+
+// RoutePlane returns the distributed control plane, or nil in oracle mode.
+func (n *Network) RoutePlane() *route.Plane { return n.plane }
+
+// RouteConverged verifies the routing layer sits on the oracle fixed point:
+// in distributed mode every switch FIB must equal topo.RoutesWithFilter over
+// usable links with no messages outstanding; oracle mode is converged by
+// construction. Nil means converged.
+func (n *Network) RouteConverged() error {
+	if n.plane == nil {
+		return nil
+	}
+	return n.plane.CheckConverged()
 }
 
 func (n *Network) deliverToHost(h packet.NodeID, pkt *packet.Packet) {

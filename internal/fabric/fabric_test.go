@@ -617,8 +617,8 @@ func TestRemoteFailureReconverges(t *testing.T) {
 	}
 	// Recovery restores both paths.
 	n.SetLinkState(1, 1, true)
-	if n.routeOverlay != nil {
-		t.Fatal("overlay not cleared after full recovery")
+	if n.downLinks != 0 {
+		t.Fatal("down-link count not cleared after full recovery")
 	}
 }
 

@@ -16,6 +16,18 @@ type PFCConfig struct {
 	Enabled   bool
 	XoffBytes int // per-ingress pause threshold
 	XonBytes  int // per-ingress resume threshold
+	// WatchdogTimeout arms the PFC deadlock watchdog: a switch egress queue
+	// that has been continuously paused for this long while holding data is
+	// declared stuck — its backlog is flushed (WatchdogDrops) so the buffer
+	// space and ingress accounting it pins are released and the pause cycle
+	// unwinds. Transient routing loops can otherwise freeze into a permanent
+	// circular buffer dependency: looped packets fill buffers, the pauses
+	// they assert form a cycle, and TTL cannot help because paused packets
+	// never move. Real lossless deployments run exactly this watchdog
+	// (deadlock detection + drop) for the same reason. Legitimate congestion
+	// pauses oscillate around Xoff/Xon on microsecond scales, orders of
+	// magnitude below the timeout. Zero disables the watchdog.
+	WatchdogTimeout sim.Duration
 }
 
 // DefaultPFC returns thresholds scaled to a link rate: headroom of one
@@ -24,9 +36,10 @@ type PFCConfig struct {
 func DefaultPFC(linkBps int64) PFCConfig {
 	scale := float64(linkBps) / 100e9
 	return PFCConfig{
-		Enabled:   true,
-		XoffBytes: int(100e3 * scale),
-		XonBytes:  int(50e3 * scale),
+		Enabled:         true,
+		XoffBytes:       int(100e3 * scale),
+		XonBytes:        int(50e3 * scale),
+		WatchdogTimeout: 500 * sim.Microsecond,
 	}
 }
 

@@ -133,3 +133,54 @@ func TestPFCBackpressurePropagatesToHost(t *testing.T) {
 		t.Fatal("backpressure never reached the hosts")
 	}
 }
+
+// A queue paused continuously past WatchdogTimeout while holding data is
+// deadlocked by definition (legit congestion pauses oscillate on µs scales):
+// the watchdog must flush the backlog and release its buffer/ingress
+// accounting so the pause cycle can unwind.
+func TestPFCWatchdogFlushesStuckQueue(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 1)
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, tp, Config{ControlLossless: true, PFC: DefaultPFC(gbps100)})
+	s := n.switches[0]
+	q := s.ports[1] // leaf0 uplink to spine 0
+	q.setPaused(true)
+	for i := 0; i < 5; i++ {
+		s.enqueue(newData(0, 1, packet.PSN(i), 1000), 1, 0)
+	}
+	e.RunAll()
+	c := n.Counters()
+	if c.WatchdogFires != 1 || c.WatchdogDrops != 5 {
+		t.Fatalf("watchdog fires=%d drops=%d, want 1/5", c.WatchdogFires, c.WatchdogDrops)
+	}
+	if q.bytes != 0 || q.head < len(q.q) {
+		t.Fatalf("data backlog not flushed: %d bytes", q.bytes)
+	}
+	if s.bufUsed != 0 {
+		t.Fatalf("buffer accounting leaked: %d bytes still charged", s.bufUsed)
+	}
+}
+
+// A pause that clears before the timeout must not trip the watchdog: the
+// backlog drains normally once RESUME arrives.
+func TestPFCWatchdogSparesTransientPause(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 1)
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, tp, Config{ControlLossless: true, PFC: DefaultPFC(gbps100)})
+	var c collector
+	n.AttachHost(1, c.recv(e))
+	s := n.switches[0]
+	q := s.ports[1]
+	q.setPaused(true)
+	for i := 0; i < 5; i++ {
+		s.enqueue(newData(0, 1, packet.PSN(i), 1000), 1, 0)
+	}
+	e.Schedule(100*sim.Microsecond, func() { q.setPaused(false) })
+	e.RunAll()
+	if got := n.Counters().WatchdogDrops; got != 0 {
+		t.Fatalf("watchdog dropped %d packets from a transient pause", got)
+	}
+	if len(c.pkts) != 5 {
+		t.Fatalf("delivered %d/5 after resume", len(c.pkts))
+	}
+}

@@ -3,6 +3,7 @@ package fabric
 import (
 	"themis/internal/packet"
 	"themis/internal/sim"
+	"themis/internal/trace"
 )
 
 // outQueue is one egress serializer: two FIFOs (a strict-priority control
@@ -40,6 +41,13 @@ type outQueue struct {
 	busy   bool
 	paused bool // PFC pause asserted by the downstream ingress (data only)
 
+	// PFC deadlock watchdog (see PFCConfig.WatchdogTimeout). pausedSince is
+	// when the current pause was asserted; wdArmed is whether a check is
+	// pending; wdFn is the pre-bound check callback.
+	pausedSince sim.Time
+	wdArmed     bool
+	wdFn        func()
+
 	txPackets uint64
 	txBytes   uint64
 }
@@ -49,6 +57,7 @@ type outQueue struct {
 func (q *outQueue) bind() {
 	q.txDoneFn = func(a any) { q.txDone(a.(*packet.Packet)) }
 	q.deliverFn = func(a any) { q.deliver(a.(*packet.Packet)) }
+	q.wdFn = q.watchdogCheck
 }
 
 // enqueue appends pkt to its class and starts the serializer if possible.
@@ -58,6 +67,9 @@ func (q *outQueue) enqueue(pkt *packet.Packet) {
 	} else {
 		q.q = append(q.q, pkt)
 		q.bytes += pkt.Size()
+		if q.paused {
+			q.armWatchdog()
+		}
 	}
 	if !q.busy {
 		q.maybeStart()
@@ -106,6 +118,10 @@ func (q *outQueue) maybeStart() {
 	if q.sw != nil && pkt.Kind == packet.Data && q.sw.pipeline != nil && q.isHostPort {
 		for _, extra := range q.sw.pipeline.OnDeliverToHost(pkt) {
 			q.net.counters.Compensated++
+			if extra.TTL == 0 {
+				extra.TTL = packet.DefaultTTL
+			}
+			extra.RouteEpoch = q.net.routeEpoch()
 			q.sw.receive(extra, -1)
 		}
 	}
@@ -134,13 +150,68 @@ func (q *outQueue) txDone(pkt *packet.Packet) {
 	q.maybeStart()
 }
 
-// setPaused gates the data class. Resuming kicks the queue.
+// setPaused gates the data class. Resuming kicks the queue; pausing with a
+// data backlog arms the deadlock watchdog.
 func (q *outQueue) setPaused(pause bool) {
 	if q.paused == pause {
 		return
 	}
 	q.paused = pause
-	if !pause && !q.busy {
+	if pause {
+		q.pausedSince = q.net.engine.Now()
+		if q.head < len(q.q) {
+			q.armWatchdog()
+		}
+		return
+	}
+	if !q.busy {
 		q.maybeStart()
 	}
+}
+
+// armWatchdog schedules a deadlock check WatchdogTimeout from now. Host
+// uplink serializers are exempt: a pause cycle is a switch-buffer
+// phenomenon, and a host queue paused by its ToR is ordinary backpressure.
+func (q *outQueue) armWatchdog() {
+	wd := q.net.cfg.PFC.WatchdogTimeout
+	if wd <= 0 || q.sw == nil || q.wdArmed {
+		return
+	}
+	q.wdArmed = true
+	q.net.engine.Schedule(wd, q.wdFn)
+}
+
+// watchdogCheck declares the queue deadlocked if it has been continuously
+// paused for the full timeout while still holding data, and flushes the
+// data backlog: releasing the buffer space and PFC ingress accounting those
+// packets pin lets the upstream pauses clear and the cycle unwind. The
+// check never re-arms itself unconditionally — a fresh arm needs a new
+// pause assertion or a new enqueue under pause — so a drained engine stays
+// drained.
+func (q *outQueue) watchdogCheck() {
+	q.wdArmed = false
+	if !q.paused || q.head >= len(q.q) {
+		return
+	}
+	wd := q.net.cfg.PFC.WatchdogTimeout
+	if elapsed := q.net.engine.Now().Sub(q.pausedSince); elapsed < wd {
+		// The pause toggled since this check was armed; watch the remainder
+		// of the current episode.
+		q.wdArmed = true
+		q.net.engine.Schedule(wd-elapsed, q.wdFn)
+		return
+	}
+	q.net.counters.WatchdogFires++
+	for q.head < len(q.q) {
+		pkt := q.q[q.head]
+		q.q[q.head] = nil
+		q.head++
+		q.bytes -= pkt.Size()
+		q.sw.release(pkt)
+		q.net.counters.WatchdogDrops++
+		q.net.cfg.Tracer.RecordPacket(q.net.engine.Now(), trace.Drop, q.sw.sw.ID, q.port, pkt)
+		q.net.cfg.Pool.Put(pkt)
+	}
+	q.q = q.q[:0]
+	q.head = 0
 }

@@ -1,0 +1,205 @@
+package fabric
+
+import (
+	"testing"
+
+	"themis/internal/packet"
+	"themis/internal/route"
+	"themis/internal/sim"
+	"themis/internal/topo"
+)
+
+// TestTTLExpiryCountsLoopDrop injects a packet whose hop limit cannot cover
+// the cross-rack path (leaf + spine + leaf = 3 forwarding decrements) and
+// checks it dies as a loop drop, not a delivery.
+func TestTTLExpiryCountsLoopDrop(t *testing.T) {
+	tp := leafSpine(t, 2, 1, 1)
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, tp, Config{})
+	var c collector
+	n.AttachHost(1, c.recv(e))
+
+	p := newData(0, 1, 0, 1000)
+	p.TTL = 2 // decremented to 1 at the ingress leaf, expires at the spine
+	n.Inject(0, p)
+	e.RunAll()
+
+	if len(c.pkts) != 0 {
+		t.Fatal("TTL-expired packet was delivered")
+	}
+	if got := n.Counters().LoopDrops; got != 1 {
+		t.Fatalf("LoopDrops = %d, want 1", got)
+	}
+	// Oracle mode is permanently quiescent at epoch 0, so an artificially
+	// short TTL is charged as a steady-state loop drop — which is exactly
+	// why workloads never pre-set TTL and chaos invariant 10 has teeth.
+	if got := n.Counters().SteadyLoopDrops; got != 1 {
+		t.Fatalf("SteadyLoopDrops = %d, want 1", got)
+	}
+
+	// A default-stamped packet crosses fine and arrives with TTL spent per
+	// forwarding switch hop.
+	q := newData(0, 1, 1, 1000)
+	n.Inject(0, q)
+	e.RunAll()
+	if len(c.pkts) != 1 {
+		t.Fatal("default-TTL packet not delivered")
+	}
+	// Two forwarding decrements (ingress leaf, spine); the egress leaf
+	// delivers locally without decrementing.
+	if got := c.pkts[0].TTL; got != packet.DefaultTTL-2 {
+		t.Fatalf("delivered TTL = %d, want %d", got, packet.DefaultTTL-2)
+	}
+}
+
+// TestDistributedDelayZeroMatchesOracleForwarding runs the same injection
+// schedule with link failures through an oracle fabric and a distributed
+// delay-zero fabric and requires identical delivery sets, counters, and
+// engine metrics — the fabric-level half of the byte-identity criterion.
+func TestDistributedDelayZeroMatchesOracleForwarding(t *testing.T) {
+	run := func(routing route.Config) (deliv []packet.PSN, ctr Counters, m sim.Metrics) {
+		tp := leafSpine(t, 3, 2, 1)
+		e := sim.NewEngine(1)
+		n := NewNetwork(e, tp, Config{Routing: routing})
+		var c collector
+		n.AttachHost(1, c.recv(e))
+		for i := 0; i < 10; i++ {
+			n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
+		}
+		e.Schedule(5*sim.Microsecond, func() { n.SetLinkState(0, 1, false) })
+		e.Schedule(40*sim.Microsecond, func() { n.SetLinkState(0, 1, true) })
+		e.Schedule(50*sim.Microsecond, func() {
+			for i := 10; i < 20; i++ {
+				n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
+			}
+		})
+		e.RunAll()
+		if err := n.RouteConverged(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range c.pkts {
+			deliv = append(deliv, p.PSN)
+		}
+		return deliv, n.Counters(), e.Metrics()
+	}
+
+	oDeliv, oCtr, oM := run(route.Config{Mode: route.Oracle})
+	dDeliv, dCtr, dM := run(route.Config{Mode: route.Distributed})
+	if len(oDeliv) != len(dDeliv) {
+		t.Fatalf("deliveries differ: oracle %d, distributed %d", len(oDeliv), len(dDeliv))
+	}
+	for i := range oDeliv {
+		if oDeliv[i] != dDeliv[i] {
+			t.Fatalf("delivery %d differs: oracle PSN %d, distributed PSN %d", i, oDeliv[i], dDeliv[i])
+		}
+	}
+	if oCtr != dCtr {
+		t.Fatalf("counters differ:\noracle      %+v\ndistributed %+v", oCtr, dCtr)
+	}
+	if oM != dM {
+		t.Fatalf("engine metrics differ:\noracle      %+v\ndistributed %+v", oM, dM)
+	}
+}
+
+// TestDistributedConvergenceWindowBlackholes shows the honest transient: with
+// a positive per-hop delay, a remote failure blackholes traffic until the
+// withdrawal propagates, where oracle mode would reroute instantly.
+func TestDistributedConvergenceWindowBlackholes(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 1)
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, tp, Config{
+		Routing: route.Config{Mode: route.Distributed, PerHopDelay: 50 * sim.Microsecond},
+	})
+	var c collector
+	n.AttachHost(1, c.recv(e))
+
+	// Fail the REMOTE link spine0<->leaf1. Leaf0 keeps spraying over both
+	// spines until spine0's withdrawal arrives; packets sent via spine0 in
+	// the window die there with no surviving path.
+	n.SetLinkState(1, 1, false)
+	if n.RouteConverged() == nil {
+		t.Fatal("plane reported converged mid-window")
+	}
+	for i := 0; i < 20; i++ {
+		n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
+	}
+	e.RunAll()
+	if err := n.RouteConverged(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.pkts) == 20 {
+		t.Fatal("no blackhole despite convergence window")
+	}
+	if n.Counters().LinkDrops == 0 {
+		t.Fatal("window drops not counted")
+	}
+	if n.Counters().SteadyLoopDrops != 0 {
+		t.Fatal("steady loop drops in a plain blackhole scenario")
+	}
+}
+
+// TestDrainBeforeDropIsLossless is the maintenance story: drain the link,
+// let routing converge away from it, then drop it — nothing is lost, unlike
+// an abrupt failure under the same convergence delay.
+func TestDrainBeforeDropIsLossless(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 1)
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, tp, Config{
+		Routing: route.Config{Mode: route.Distributed, PerHopDelay: 5 * sim.Microsecond},
+	})
+	var c collector
+	n.AttachHost(1, c.recv(e))
+
+	n.SetLinkDrained(1, 1, true)
+	if n.DrainedLinks() != 1 {
+		t.Fatalf("DrainedLinks = %d", n.DrainedLinks())
+	}
+	// Give the withdrawal time to propagate, then drop the drained link and
+	// only then offer traffic.
+	e.Schedule(100*sim.Microsecond, func() { n.SetLinkState(1, 1, false) })
+	e.Schedule(110*sim.Microsecond, func() {
+		for i := 0; i < 20; i++ {
+			n.Inject(0, newData(0, 1, packet.PSN(i), 1000))
+		}
+	})
+	e.RunAll()
+	if err := n.RouteConverged(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.pkts) != 20 {
+		t.Fatalf("drained maintenance lost packets: %d/20 delivered", len(c.pkts))
+	}
+	if n.Counters().LinkDrops != 0 {
+		t.Fatalf("LinkDrops = %d during drained maintenance", n.Counters().LinkDrops)
+	}
+}
+
+// BenchmarkLinkFlapStorm guards the incremental oracle reconvergence: each
+// flap must cost O(switches) invalidation plus one lazy per-destination BFS
+// at next use, not a fabric-wide recompute. The 16x16 fabric makes the old
+// O(topology) full recompute per flap visibly expensive.
+func BenchmarkLinkFlapStorm(b *testing.B) {
+	tp, err := topo.NewLeafSpine(topo.LeafSpineConfig{
+		Leaves: 16, Spines: 16, HostsPerLeaf: 4,
+		HostLink:   topo.LinkSpec{Bandwidth: gbps100, Delay: usec},
+		FabricLink: topo.LinkSpec{Bandwidth: gbps100, Delay: usec},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, tp, Config{})
+	// One cross-fabric forwarding decision per flap keeps the lazy fill
+	// honest (a pure-invalidation benchmark would never pay the BFS).
+	dst := packet.NodeID(4) // first host on leaf1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaf := i % 16
+		port := 4 + i%16 // uplink ports are 4..19 on a 4-host leaf
+		n.SetLinkState(leaf, port, false)
+		_ = n.candidatePorts(0, dst)
+		n.SetLinkState(leaf, port, true)
+		_ = n.candidatePorts(0, dst)
+	}
+}

@@ -13,16 +13,17 @@ import (
 // swInst is a running switch: the topo.Switch plus egress queues, selectors
 // and counters. It implements lb.Context for its selectors.
 type swInst struct {
-	net      *Network
-	sw       *topo.Switch
-	ports    []*outQueue
-	portUp   []bool
-	anyDown  bool
-	bufUsed  int
-	dataSel  lb.Selector
-	ctrlSel  lb.Selector
-	pipeline TorPipeline
-	seed     uint32 // cached lb.TierSeed(sw.Tier), hot on every ECMP decision
+	net         *Network
+	sw          *topo.Switch
+	ports       []*outQueue
+	portUp      []bool
+	portDrained []bool // maintenance drains (routing-layer only; link stays up)
+	anyDown     bool
+	bufUsed     int
+	dataSel     lb.Selector
+	ctrlSel     lb.Selector
+	pipeline    TorPipeline
+	seed        uint32 // cached lb.TierSeed(sw.Tier), hot on every ECMP decision
 
 	dataDrops uint64
 	ecnMarks  uint64
@@ -36,12 +37,13 @@ type swInst struct {
 
 func newSwInst(n *Network, sw *topo.Switch) *swInst {
 	s := &swInst{
-		net:     n,
-		sw:      sw,
-		dataSel: n.cfg.NewDataSelector(),
-		ctrlSel: n.cfg.NewCtrlSelector(),
-		portUp:  make([]bool, len(sw.Ports)),
-		seed:    lb.TierSeed(sw.Tier),
+		net:         n,
+		sw:          sw,
+		dataSel:     n.cfg.NewDataSelector(),
+		ctrlSel:     n.cfg.NewCtrlSelector(),
+		portUp:      make([]bool, len(sw.Ports)),
+		portDrained: make([]bool, len(sw.Ports)),
+		seed:        lb.TierSeed(sw.Tier),
 	}
 	if n.cfg.PFC.Enabled {
 		s.pfc = newPFCState(len(sw.Ports))
@@ -89,6 +91,17 @@ func (s *swInst) receive(pkt *packet.Packet, inPort int) {
 	if hp, ok := s.sw.HostPort(pkt.Dst); ok {
 		s.enqueue(pkt, hp, inPort)
 		return
+	}
+
+	// Hop limit: decremented only when forwarding (not on local delivery
+	// above). During routing reconvergence stale FIBs can form micro-loops;
+	// the TTL turns a would-be livelock into an accounted drop.
+	if pkt.TTL > 0 {
+		pkt.TTL--
+		if pkt.TTL == 0 {
+			s.loopDrop(pkt)
+			return
+		}
 	}
 
 	cands := s.net.candidatePorts(s.sw.ID, pkt.Dst)
@@ -208,6 +221,19 @@ func (s *swInst) release(pkt *packet.Packet) {
 		pkt.Buffered = false
 	}
 	s.releaseIngress(pkt)
+}
+
+// loopDrop discards a packet whose TTL expired. The drop only indicts the
+// routing plane (SteadyLoopDrops) when no reconvergence window can excuse
+// it: the plane is quiescent and the packet was injected under the current
+// quiescent epoch.
+func (s *swInst) loopDrop(pkt *packet.Packet) {
+	s.net.counters.LoopDrops++
+	if s.net.routeQuiescent() && pkt.RouteEpoch == s.net.routeEpoch() {
+		s.net.counters.SteadyLoopDrops++
+	}
+	s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.Drop, s.sw.ID, -1, pkt)
+	s.free(pkt)
 }
 
 func (s *swInst) drop(pkt *packet.Packet) {

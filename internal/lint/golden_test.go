@@ -129,6 +129,46 @@ func TestRunSkipsFixtures(t *testing.T) {
 	}
 }
 
+// TestRunCoversRoutePlane pins the lint suite's coverage of the routing
+// control plane. internal/route must lint clean, and — non-vacuously — its
+// update-propagation path must be inside the map-order analyzer's reach set:
+// Plane.send schedules engine events, so a `range` over a map anywhere on
+// that path without a `//lint:ordered` review feeds Go's randomized
+// iteration order straight into the event queue and breaks the delay-0
+// oracle/distributed byte-identity guarantee.
+func TestRunCoversRoutePlane(t *testing.T) {
+	modRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(modRoot, []string{"internal/route"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("internal/route does not lint clean: %s", d)
+	}
+
+	ldr, err := NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ldr.LoadDir(filepath.Join(modRoot, "internal", "route")); err != nil {
+		t.Fatal(err)
+	}
+	reach := BuildReach(ldr.Packages(), ldr.ModPath)
+	routeReached := false
+	for fn, ok := range reach {
+		if ok && strings.Contains(fn, "/internal/route.") {
+			routeReached = true
+			break
+		}
+	}
+	if !routeReached {
+		t.Fatal("no internal/route function reaches an event-queue sink — the map-order analyzer is vacuous over the routing plane")
+	}
+}
+
 // TestRunCleanTree is the self-test that gates make verify from inside the
 // test suite as well: the repaired repository must lint clean.
 func TestRunCleanTree(t *testing.T) {

@@ -64,6 +64,14 @@ const (
 	DefaultMTU   = 1500 // default payload bytes per data packet (paper Table 1)
 )
 
+// DefaultTTL is the hop limit stamped on packets entering the fabric (the
+// IPv4 TTL / IPv6 hop-limit of the encapsulating header). Any loop-free CLOS
+// path is at most a handful of switch hops, so a packet that burns through
+// DefaultTTL decrements has been caught in a forwarding loop — the transient
+// micro-loops a reconverging distributed control plane produces — and is
+// dropped instead of livelocking the event loop.
+const DefaultTTL = 64
+
 // Packet is a single simulated packet. Packets are passed by pointer through
 // the fabric; ownership transfers with the pointer (a switch that drops a
 // packet releases it back to the pool).
@@ -82,6 +90,19 @@ type Packet struct {
 
 	// Congestion signals.
 	ECN bool // CE mark applied by a switch on the way
+
+	// TTL is the remaining hop limit, decremented at every switch that
+	// forwards (not locally delivers) the packet; at zero the packet is
+	// dropped and counted as a loop drop. Stamped with DefaultTTL on fabric
+	// entry when unset, so tests may pre-set a smaller limit.
+	TTL uint8
+
+	// RouteEpoch records the routing-plane convergence epoch the packet was
+	// injected under (fabric-internal, not on the wire). A TTL-exhaustion
+	// drop only indicts the routing plane when the packet was launched under
+	// the *current* quiescent epoch; packets stamped during a reconvergence
+	// window are allowed to die of staleness.
+	RouteEpoch uint32
 
 	// Bookkeeping (not on the wire).
 	Retransmit bool   // this data packet is a retransmission

@@ -1,0 +1,335 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"themis/internal/sim"
+	"themis/internal/topo"
+)
+
+// leafSpine builds the 2-tier fixture used throughout: switch IDs are leaves
+// 0..leaves-1 then spines, a leaf's uplink to spine s is port hosts+s, and a
+// spine's port i faces leaf i.
+func leafSpine(t *testing.T, leaves, spines, hosts int) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewLeafSpine(topo.LeafSpineConfig{
+		Leaves: leaves, Spines: spines, HostsPerLeaf: hosts,
+		HostLink:   topo.LinkSpec{Bandwidth: 100e9, Delay: sim.Microsecond},
+		FabricLink: topo.LinkSpec{Bandwidth: 100e9, Delay: sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatalf("NewLeafSpine: %v", err)
+	}
+	return tp
+}
+
+func TestColdStartConverged(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tp   func(t *testing.T) *topo.Topology
+	}{
+		{"leafspine-3x2", func(t *testing.T) *topo.Topology { return leafSpine(t, 3, 2, 1) }},
+		{"leafspine-4x4", func(t *testing.T) *topo.Topology { return leafSpine(t, 4, 4, 2) }},
+		{"fattree-4", func(t *testing.T) *topo.Topology {
+			tp, err := topo.NewFatTree(topo.FatTreeConfig{
+				K:          4,
+				HostLink:   topo.LinkSpec{Bandwidth: 100e9, Delay: sim.Microsecond},
+				FabricLink: topo.LinkSpec{Bandwidth: 100e9, Delay: sim.Microsecond},
+			})
+			if err != nil {
+				t.Fatalf("NewFatTree: %v", err)
+			}
+			return tp
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine(1)
+			p := NewPlane(eng, tc.tp(t), Config{Mode: Distributed})
+			if !p.Quiescent() {
+				t.Fatal("cold start not quiescent")
+			}
+			if p.MessagesSent() != 0 {
+				t.Fatalf("cold start sent %d messages", p.MessagesSent())
+			}
+			if err := p.CheckConverged(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// event is one control-plane stimulus in a table-driven scenario.
+type event struct {
+	sw, port int
+	kind     string // "down", "up", "drain", "undrain"
+}
+
+func apply(p *Plane, ev event) {
+	switch ev.kind {
+	case "down":
+		p.SetLinkState(ev.sw, ev.port, false)
+	case "up":
+		p.SetLinkState(ev.sw, ev.port, true)
+	case "drain":
+		p.SetDrained(ev.sw, ev.port, true)
+	case "undrain":
+		p.SetDrained(ev.sw, ev.port, false)
+	default:
+		panic("unknown event kind " + ev.kind)
+	}
+}
+
+// fibWant pins one expected FIB entry after a scenario completes.
+type fibWant struct {
+	sw, dst int
+	ports   []int // nil means "no route"
+}
+
+// TestWithdrawalUpdateOrdering drives withdrawal/update sequences through a
+// 3-leaf × 2-spine fixture at per-hop delay zero (synchronous convergence)
+// and pins the resulting FIBs. Topology reminder: leaves 0,1,2 (port 0 host,
+// port 1 → spine 3, port 2 → spine 4); spines 3,4 (port i → leaf i).
+func TestWithdrawalUpdateOrdering(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		events []event
+		want   []fibWant
+	}{
+		{
+			name:   "single-uplink-loss-shrinks-ecmp",
+			events: []event{{0, 1, "down"}},
+			want: []fibWant{
+				{sw: 0, dst: 1, ports: []int{2}},    // leaf0 reaches leaf1 only via spine4
+				{sw: 3, dst: 0, ports: []int{1, 2}}, // spine3 detours to leaf0 via the other leaves
+				{sw: 1, dst: 0, ports: []int{2}},    // leaf1 drops spine3 (now 3 hops from leaf0)
+				{sw: 0, dst: 3, ports: []int{2}},    // leaf0 reaches spine3 the long way
+				{sw: 4, dst: 0, ports: []int{0}},    // spine4 still has the direct link
+			},
+		},
+		{
+			name:   "total-isolation-withdraws-everywhere",
+			events: []event{{0, 1, "down"}, {0, 2, "down"}},
+			want: []fibWant{
+				{sw: 1, dst: 0, ports: nil}, // leaf0 unreachable: withdrawals propagated
+				{sw: 2, dst: 0, ports: nil},
+				{sw: 3, dst: 0, ports: nil},
+				{sw: 4, dst: 0, ports: nil},
+				{sw: 0, dst: 1, ports: nil},
+				{sw: 1, dst: 2, ports: []int{1, 2}}, // the rest of the fabric is untouched
+			},
+		},
+		{
+			name:   "repair-restores-full-ecmp",
+			events: []event{{0, 1, "down"}, {0, 2, "down"}, {0, 1, "up"}, {0, 2, "up"}},
+			want: []fibWant{
+				{sw: 1, dst: 0, ports: []int{1, 2}},
+				{sw: 0, dst: 2, ports: []int{1, 2}},
+				{sw: 3, dst: 0, ports: []int{0}},
+				{sw: 4, dst: 0, ports: []int{0}},
+			},
+		},
+		{
+			name:   "drain-withdraws-like-failure",
+			events: []event{{0, 2, "drain"}},
+			want: []fibWant{
+				{sw: 0, dst: 1, ports: []int{1}},    // drained uplink carries no routes
+				{sw: 4, dst: 0, ports: []int{1, 2}}, // spine4 detours around the drain
+			},
+		},
+		{
+			name: "down-during-drain-is-churnless-and-undrain-recovers",
+			events: []event{
+				{0, 2, "drain"}, {0, 2, "down"}, // drop of a drained link: no-op for routing
+				{0, 2, "up"}, {0, 2, "undrain"}, // maintenance done
+			},
+			want: []fibWant{
+				{sw: 0, dst: 1, ports: []int{1, 2}},
+				{sw: 4, dst: 0, ports: []int{0}},
+			},
+		},
+		{
+			name: "flap-same-state-calls-are-idempotent",
+			events: []event{
+				{0, 1, "down"}, {0, 1, "down"}, {0, 1, "up"}, {0, 1, "up"},
+			},
+			want: []fibWant{
+				{sw: 0, dst: 1, ports: []int{1, 2}},
+				{sw: 3, dst: 0, ports: []int{0}},
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine(1)
+			p := NewPlane(eng, leafSpine(t, 3, 2, 1), Config{Mode: Distributed})
+			for _, ev := range tc.events {
+				apply(p, ev)
+				// Delay zero: every stimulus resolves synchronously, with
+				// zero engine events, back to the oracle fixed point.
+				if err := p.CheckConverged(); err != nil {
+					t.Fatalf("after %+v: %v", ev, err)
+				}
+				if !p.Quiescent() {
+					t.Fatalf("after %+v: not quiescent", ev)
+				}
+			}
+			if m := eng.Metrics(); m.EventsExecuted != 0 {
+				t.Fatalf("delay-0 plane executed %d engine events", m.EventsExecuted)
+			}
+			for _, w := range tc.want {
+				got := p.Candidates(w.sw, w.dst)
+				if !intsEqual(got, w.ports) {
+					t.Errorf("fib[sw %d][dst %d] = %v, want %v", w.sw, w.dst, got, w.ports)
+				}
+			}
+		})
+	}
+}
+
+// TestMicroLoopFormation reproduces the classic CLOS micro-loop: when link
+// leaf0–spine4 fails with a positive per-hop delay, spine4 immediately
+// detours traffic for leaf0 towards leaf1 (whose stale advertised path went
+// via spine3 and is therefore valid at spine4), while leaf1 still holds
+// spine4's stale direct advertisement — so for one reconvergence window
+// leaf1 and spine4 point at each other. The window closes when spine4's
+// update reaches leaf1 and is rejected by AS-path loop suppression.
+func TestMicroLoopFormation(t *testing.T) {
+	const delay = 10 * sim.Microsecond
+	eng := sim.NewEngine(1)
+	p := NewPlane(eng, leafSpine(t, 3, 2, 1), Config{Mode: Distributed, PerHopDelay: delay})
+
+	eng.Schedule(sim.Microsecond, func() { p.SetLinkState(0, 2, false) })
+	eng.Run(sim.Time(sim.Microsecond + delay/2)) // mid-window: updates still in flight
+
+	if p.Quiescent() {
+		t.Fatal("plane quiescent mid-window")
+	}
+	// spine4 (id 4) already detours leaf0 traffic via leaf1 and leaf2...
+	if got := p.Candidates(4, 0); !intsEqual(got, []int{1, 2}) {
+		t.Fatalf("spine4 fib[leaf0] = %v, want detour [1 2]", got)
+	}
+	// ...while leaf1 (id 1) still believes spine4 has the direct link: the
+	// micro-loop leaf1 → spine4 → leaf1 is live.
+	if got := p.Candidates(1, 0); !intsEqual(got, []int{1, 2}) {
+		t.Fatalf("leaf1 fib[leaf0] = %v, want stale [1 2]", got)
+	}
+
+	eng.RunAll()
+	if err := p.CheckConverged(); err != nil {
+		t.Fatal(err)
+	}
+	// Loop suppressed: spine4's re-advertised path [4 1 3 0] contains
+	// leaf1, so leaf1 dropped the spine4 route and kept only spine3.
+	if got := p.Candidates(1, 0); !intsEqual(got, []int{1}) {
+		t.Fatalf("post-convergence leaf1 fib[leaf0] = %v, want [1]", got)
+	}
+	epoch := p.Epoch()
+	if epoch == 0 {
+		t.Fatal("no reconvergence episode recorded")
+	}
+
+	// Repair: another window, another episode.
+	eng.Schedule(sim.Microsecond, func() { p.SetLinkState(0, 2, true) })
+	eng.RunAll()
+	if err := p.CheckConverged(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() <= epoch {
+		t.Fatalf("epoch did not advance across repair: %d -> %d", epoch, p.Epoch())
+	}
+	if got := p.Candidates(1, 0); !intsEqual(got, []int{1, 2}) {
+		t.Fatalf("post-repair leaf1 fib[leaf0] = %v, want [1 2]", got)
+	}
+}
+
+// TestSessionResetDiscardsStaleMessages flaps a link faster than the per-hop
+// delay so that updates from a dead session incarnation are still in flight
+// when the session re-establishes; the per-session generation counters must
+// discard them, and the plane must still land on the oracle fixed point.
+func TestSessionResetDiscardsStaleMessages(t *testing.T) {
+	const delay = 10 * sim.Microsecond
+	eng := sim.NewEngine(1)
+	p := NewPlane(eng, leafSpine(t, 4, 3, 1), Config{Mode: Distributed, PerHopDelay: delay})
+	for i := 0; i < 6; i++ {
+		at := sim.Duration(i+1) * sim.Microsecond // well inside one per-hop delay
+		down := i%2 == 0
+		eng.Schedule(at, func() { p.SetLinkState(1, 2, down) }) // leaf1 uplink to spine 1
+	}
+	eng.RunAll()
+	if err := p.CheckConverged(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Quiescent() {
+		t.Fatal("not quiescent after flap burst")
+	}
+}
+
+// TestDelayZeroMatchesOracle drives hundreds of random link and drain
+// transitions through a delay-zero plane and checks after every single one
+// that the FIBs sit exactly on the oracle fixed point without having
+// scheduled any engine events — the property the byte-identity acceptance
+// criterion rests on.
+func TestDelayZeroMatchesOracle(t *testing.T) {
+	tp := leafSpine(t, 4, 3, 2)
+	eng := sim.NewEngine(7)
+	p := NewPlane(eng, tp, Config{Mode: Distributed})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		leaf := rng.Intn(4)
+		port := 2 + rng.Intn(3) // uplink ports on a 2-host leaf
+		switch rng.Intn(4) {
+		case 0:
+			p.SetLinkState(leaf, port, false)
+		case 1:
+			p.SetLinkState(leaf, port, true)
+		case 2:
+			p.SetDrained(leaf, port, true)
+		case 3:
+			p.SetDrained(leaf, port, false)
+		}
+		if err := p.CheckConverged(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if m := eng.Metrics(); m.EventsExecuted != 0 {
+		t.Fatalf("delay-0 plane executed %d engine events", m.EventsExecuted)
+	}
+	if p.MessagesSent() == 0 {
+		t.Fatal("plane sent no messages at all")
+	}
+}
+
+// TestConvergenceWithDelayRandomFlaps is the delayed-mode counterpart: random
+// flaps land at random engine times, and once the dust settles the plane must
+// be quiescent on the oracle fixed point.
+func TestConvergenceWithDelayRandomFlaps(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		tp := leafSpine(t, 4, 3, 2)
+		eng := sim.NewEngine(seed)
+		p := NewPlane(eng, tp, Config{Mode: Distributed, PerHopDelay: 7 * sim.Microsecond})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 40; i++ {
+			leaf := rng.Intn(4)
+			port := 2 + rng.Intn(3)
+			down := rng.Intn(2) == 0
+			at := sim.Duration(rng.Intn(200)) * sim.Microsecond
+			eng.Schedule(at, func() { p.SetLinkState(leaf, port, down) })
+		}
+		eng.RunAll()
+		if err := p.CheckConverged(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestASN(t *testing.T) {
+	if got := ASN(0); got != 64512 {
+		t.Fatalf("ASN(0) = %d", got)
+	}
+	if got := ASN(9); got != 64521 {
+		t.Fatalf("ASN(9) = %d", got)
+	}
+	if Oracle.String() != "oracle" || Distributed.String() != "distributed" {
+		t.Fatal("mode strings")
+	}
+}

@@ -159,43 +159,60 @@ func (t *Topology) RoutesWithFilter(up func(sw, port int) bool) [][][]int {
 		routes[sw] = make([][]int, n)
 	}
 	for dst := 0; dst < n; dst++ {
-		// BFS from dst over up links only.
-		dist := make([]int, n)
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[dst] = 0
-		queue := []int{dst}
-		for len(queue) > 0 {
-			sw := queue[0]
-			queue = queue[1:]
-			for pi, p := range t.switches[sw].Ports {
-				if p.IsHostPort() || !up(sw, pi) || !up(p.PeerSwitch, p.PeerPort) {
-					continue
-				}
-				if dist[p.PeerSwitch] < 0 {
-					dist[p.PeerSwitch] = dist[sw] + 1
-					queue = append(queue, p.PeerSwitch)
-				}
-			}
-		}
+		perSw := t.RoutesForDst(dst, up)
 		for sw := 0; sw < n; sw++ {
-			if sw == dst || dist[sw] < 0 {
-				continue
-			}
-			var cands []int
-			for pi, p := range t.switches[sw].Ports {
-				if p.IsHostPort() || !up(sw, pi) || !up(p.PeerSwitch, p.PeerPort) {
-					continue
-				}
-				if dist[p.PeerSwitch] == dist[sw]-1 {
-					cands = append(cands, pi)
-				}
-			}
-			routes[sw][dst] = cands
+			routes[sw][dst] = perSw[sw]
 		}
 	}
 	return routes
+}
+
+// RoutesForDst computes the failure-aware candidate sets towards one
+// destination switch only: result[sw] is the sorted equal-cost egress port
+// set at sw (nil where no path exists, empty semantics identical to the
+// corresponding RoutesWithFilter column). Single-destination extraction is
+// what makes incremental oracle-mode reconvergence cheap: a link flap
+// invalidates cached columns in O(switches) and only the destinations
+// actually forwarded to afterwards pay a BFS.
+func (t *Topology) RoutesForDst(dst int, up func(sw, port int) bool) [][]int {
+	n := len(t.switches)
+	out := make([][]int, n)
+	// BFS from dst over up links only.
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []int{dst}
+	for len(queue) > 0 {
+		sw := queue[0]
+		queue = queue[1:]
+		for pi, p := range t.switches[sw].Ports {
+			if p.IsHostPort() || !up(sw, pi) || !up(p.PeerSwitch, p.PeerPort) {
+				continue
+			}
+			if dist[p.PeerSwitch] < 0 {
+				dist[p.PeerSwitch] = dist[sw] + 1
+				queue = append(queue, p.PeerSwitch)
+			}
+		}
+	}
+	for sw := 0; sw < n; sw++ {
+		if sw == dst || dist[sw] < 0 {
+			continue
+		}
+		var cands []int
+		for pi, p := range t.switches[sw].Ports {
+			if p.IsHostPort() || !up(sw, pi) || !up(p.PeerSwitch, p.PeerPort) {
+				continue
+			}
+			if dist[p.PeerSwitch] == dist[sw]-1 {
+				cands = append(cands, pi)
+			}
+		}
+		out[sw] = cands
+	}
+	return out
 }
 
 // Validate checks structural invariants (bidirectional links, consistent

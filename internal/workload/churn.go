@@ -50,7 +50,11 @@ type ChurnConfig struct {
 	RTOBackoff   float64
 	RTOMax       sim.Duration
 	LossyControl bool
-	ThemisCfg    core.Config
+	// DistributedRouting/ConvergenceDelay select the BGP-style per-switch
+	// control plane (see ClusterConfig).
+	DistributedRouting bool
+	ConvergenceDelay   sim.Duration
+	ThemisCfg          core.Config
 
 	Tracer  *trace.Tracer `json:"-"`
 	Metrics *obs.Registry `json:"-"`
@@ -217,22 +221,24 @@ func scheduleChurnFaults(cl *Cluster, cfg ChurnConfig) {
 func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	cfg = cfg.withDefaults()
 	cl, err := BuildCluster(ClusterConfig{
-		Seed:         cfg.Seed,
-		Leaves:       cfg.Leaves,
-		Spines:       cfg.Spines,
-		HostsPerLeaf: cfg.HostsPerLeaf,
-		Bandwidth:    cfg.Bandwidth,
-		LB:           cfg.LB,
-		Transport:    cfg.Transport,
-		BurstBytes:   cfg.BurstBytes,
-		BufferBytes:  cfg.BufferBytes,
-		RTO:          cfg.RTO,
-		RTOBackoff:   cfg.RTOBackoff,
-		RTOMax:       cfg.RTOMax,
-		LossyControl: cfg.LossyControl,
-		ThemisCfg:    cfg.ThemisCfg,
-		Tracer:       cfg.Tracer,
-		Metrics:      cfg.Metrics,
+		Seed:               cfg.Seed,
+		Leaves:             cfg.Leaves,
+		Spines:             cfg.Spines,
+		HostsPerLeaf:       cfg.HostsPerLeaf,
+		Bandwidth:          cfg.Bandwidth,
+		LB:                 cfg.LB,
+		Transport:          cfg.Transport,
+		BurstBytes:         cfg.BurstBytes,
+		BufferBytes:        cfg.BufferBytes,
+		RTO:                cfg.RTO,
+		RTOBackoff:         cfg.RTOBackoff,
+		RTOMax:             cfg.RTOMax,
+		LossyControl:       cfg.LossyControl,
+		DistributedRouting: cfg.DistributedRouting,
+		ConvergenceDelay:   cfg.ConvergenceDelay,
+		ThemisCfg:          cfg.ThemisCfg,
+		Tracer:             cfg.Tracer,
+		Metrics:            cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

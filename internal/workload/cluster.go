@@ -25,6 +25,7 @@ import (
 	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/rnic"
+	"themis/internal/route"
 	"themis/internal/sim"
 	"themis/internal/topo"
 	"themis/internal/trace"
@@ -105,6 +106,15 @@ type ClusterConfig struct {
 	// (fabric.Config.ControlLossless = false) — the robustness configuration;
 	// production RoCE fabrics keep the control class lossless.
 	LossyControl bool
+
+	// DistributedRouting replaces the instant global routing oracle with the
+	// per-switch BGP-style control plane (internal/route): link events
+	// propagate hop-by-hop with ConvergenceDelay per message, and forwarding
+	// during the window uses each switch's possibly-stale FIB.
+	DistributedRouting bool
+	// ConvergenceDelay is the per-hop control-message processing delay.
+	// Zero converges synchronously (oracle-equivalent results).
+	ConvergenceDelay sim.Duration
 
 	// DropEveryNData, if positive, drops every Nth data packet at switch
 	// egress — the declarative form of the counter-based LossFunc the loss
@@ -221,6 +231,9 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		Tracer:          cfg.Tracer,
 		Pool:            pool,
 		Metrics:         cfg.Metrics,
+	}
+	if cfg.DistributedRouting {
+		fcfg.Routing = route.Config{Mode: route.Distributed, PerHopDelay: cfg.ConvergenceDelay}
 	}
 	if !cfg.DisableECN {
 		fcfg.ECN = fabric.DefaultECN(cfg.Bandwidth)
@@ -411,6 +424,25 @@ func (cl *Cluster) RepairLink(sw, port int) {
 
 // FailedLinks returns the number of outstanding link failures.
 func (cl *Cluster) FailedLinks() int { return len(cl.failedLinks) }
+
+// DrainLink starts a maintenance drain of the fabric link at (sw, port): the
+// routing layer withdraws it from candidate sets while the link keeps
+// carrying in-flight traffic, so a later FailLink on the same link hits a
+// path nothing routes over. Themis stays enabled — a drained link is alive,
+// it is merely no longer a candidate, so deterministic PSN spraying never
+// steers into a dead path because of a drain alone.
+func (cl *Cluster) DrainLink(sw, port int) {
+	cl.Net.SetLinkDrained(sw, port, true)
+}
+
+// UndrainLink ends the maintenance drain, restoring the link to candidate
+// sets (after reconvergence, under distributed routing).
+func (cl *Cluster) UndrainLink(sw, port int) {
+	cl.Net.SetLinkDrained(sw, port, false)
+}
+
+// DrainedLinks returns the number of fabric links currently drained.
+func (cl *Cluster) DrainedLinks() int { return cl.Net.DrainedLinks() }
 
 // RebootToR power-cycles the Themis instance on ToR sw (no-op on clusters
 // without the middleware): all flow-table and ring-queue state is lost

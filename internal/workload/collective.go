@@ -43,7 +43,11 @@ type CollectiveConfig struct {
 	RTOMax     sim.Duration
 	// LossyControl drops ACK/NACK/CNP like data (robustness experiments).
 	LossyControl bool
-	ThemisCfg    core.Config
+	// DistributedRouting/ConvergenceDelay select the BGP-style per-switch
+	// control plane (see ClusterConfig).
+	DistributedRouting bool
+	ConvergenceDelay   sim.Duration
+	ThemisCfg          core.Config
 	// DropEveryNData, if positive, drops every Nth data packet at switch
 	// egress (loss ablations; see ClusterConfig.DropEveryNData).
 	DropEveryNData int
@@ -134,26 +138,28 @@ func RunCollective(cfg CollectiveConfig) (*CollectiveResult, error) {
 		return nil, fmt.Errorf("workload: %d groups need at most HostsPerLeaf=%d", cfg.Groups, cfg.HostsPerLeaf)
 	}
 	cl, err := BuildCluster(ClusterConfig{
-		Seed:           cfg.Seed,
-		Leaves:         cfg.Leaves,
-		Spines:         cfg.Spines,
-		HostsPerLeaf:   cfg.HostsPerLeaf,
-		Bandwidth:      cfg.Bandwidth,
-		LB:             cfg.LB,
-		Transport:      cfg.Transport,
-		TI:             cfg.TI,
-		TD:             cfg.TD,
-		BurstBytes:     cfg.BurstBytes,
-		BufferBytes:    cfg.BufferBytes,
-		DisablePFC:     cfg.DisablePFC,
-		RTO:            cfg.RTO,
-		RTOBackoff:     cfg.RTOBackoff,
-		RTOMax:         cfg.RTOMax,
-		LossyControl:   cfg.LossyControl,
-		ThemisCfg:      cfg.ThemisCfg,
-		DropEveryNData: cfg.DropEveryNData,
-		Tracer:         cfg.Tracer,
-		Metrics:        cfg.Metrics,
+		Seed:               cfg.Seed,
+		Leaves:             cfg.Leaves,
+		Spines:             cfg.Spines,
+		HostsPerLeaf:       cfg.HostsPerLeaf,
+		Bandwidth:          cfg.Bandwidth,
+		LB:                 cfg.LB,
+		Transport:          cfg.Transport,
+		TI:                 cfg.TI,
+		TD:                 cfg.TD,
+		BurstBytes:         cfg.BurstBytes,
+		BufferBytes:        cfg.BufferBytes,
+		DisablePFC:         cfg.DisablePFC,
+		RTO:                cfg.RTO,
+		RTOBackoff:         cfg.RTOBackoff,
+		RTOMax:             cfg.RTOMax,
+		LossyControl:       cfg.LossyControl,
+		DistributedRouting: cfg.DistributedRouting,
+		ConvergenceDelay:   cfg.ConvergenceDelay,
+		ThemisCfg:          cfg.ThemisCfg,
+		DropEveryNData:     cfg.DropEveryNData,
+		Tracer:             cfg.Tracer,
+		Metrics:            cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

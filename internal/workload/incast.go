@@ -25,6 +25,10 @@ type IncastConfig struct {
 	LB           LBMode
 	DisablePFC   bool
 	Horizon      sim.Duration
+	// DistributedRouting/ConvergenceDelay select the BGP-style per-switch
+	// control plane (see ClusterConfig).
+	DistributedRouting bool
+	ConvergenceDelay   sim.Duration
 	// Tracer/Metrics hook up the observability harness (see internal/obs);
 	// not part of the serialized scenario.
 	Tracer  *trace.Tracer `json:"-"`
@@ -70,17 +74,19 @@ type SenderAgg struct {
 func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	cfg = cfg.withDefaults()
 	cl, err := BuildCluster(ClusterConfig{
-		Seed:         cfg.Seed,
-		Leaves:       cfg.Senders + 1,
-		Spines:       cfg.Senders + 1,
-		HostsPerLeaf: 1,
-		Bandwidth:    cfg.Bandwidth,
-		LinkDelay:    cfg.LinkDelay,
-		BufferBytes:  cfg.BufferBytes,
-		LB:           cfg.LB,
-		DisablePFC:   cfg.DisablePFC,
-		Tracer:       cfg.Tracer,
-		Metrics:      cfg.Metrics,
+		Seed:               cfg.Seed,
+		Leaves:             cfg.Senders + 1,
+		Spines:             cfg.Senders + 1,
+		HostsPerLeaf:       1,
+		Bandwidth:          cfg.Bandwidth,
+		LinkDelay:          cfg.LinkDelay,
+		BufferBytes:        cfg.BufferBytes,
+		LB:                 cfg.LB,
+		DisablePFC:         cfg.DisablePFC,
+		DistributedRouting: cfg.DistributedRouting,
+		ConvergenceDelay:   cfg.ConvergenceDelay,
+		Tracer:             cfg.Tracer,
+		Metrics:            cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

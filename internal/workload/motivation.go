@@ -37,6 +37,10 @@ type MotivationConfig struct {
 	RTO        sim.Duration
 	RTOBackoff float64
 	RTOMax     sim.Duration
+	// DistributedRouting/ConvergenceDelay select the BGP-style per-switch
+	// control plane (see ClusterConfig).
+	DistributedRouting bool
+	ConvergenceDelay   sim.Duration
 	// Tracer/Metrics hook up the observability harness (see internal/obs);
 	// not part of the serialized scenario.
 	Tracer  *trace.Tracer `json:"-"`
@@ -111,22 +115,24 @@ func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
 		lbMode = RandomSpray // the motivation study's default arm
 	}
 	cl, err := BuildCluster(ClusterConfig{
-		Seed:         cfg.Seed,
-		Leaves:       4,
-		Spines:       4,
-		HostsPerLeaf: 2,
-		Bandwidth:    100e9,
-		LB:           lbMode,
-		Transport:    cfg.Transport,
-		BurstBytes:   cfg.BurstBytes,
-		TI:           cfg.TI,
-		TD:           cfg.TD,
-		NackFactor:   cfg.NackFactor,
-		RTO:          cfg.RTO,
-		RTOBackoff:   cfg.RTOBackoff,
-		RTOMax:       cfg.RTOMax,
-		Tracer:       cfg.Tracer,
-		Metrics:      cfg.Metrics,
+		Seed:               cfg.Seed,
+		Leaves:             4,
+		Spines:             4,
+		HostsPerLeaf:       2,
+		Bandwidth:          100e9,
+		LB:                 lbMode,
+		Transport:          cfg.Transport,
+		BurstBytes:         cfg.BurstBytes,
+		TI:                 cfg.TI,
+		TD:                 cfg.TD,
+		NackFactor:         cfg.NackFactor,
+		RTO:                cfg.RTO,
+		RTOBackoff:         cfg.RTOBackoff,
+		RTOMax:             cfg.RTOMax,
+		DistributedRouting: cfg.DistributedRouting,
+		ConvergenceDelay:   cfg.ConvergenceDelay,
+		Tracer:             cfg.Tracer,
+		Metrics:            cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
