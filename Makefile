@@ -4,7 +4,7 @@ GO ?= go
 # enforces.
 COVER_FLOOR ?= 70
 
-.PHONY: build test vet lint race cover fuzz-smoke verify bench bench-smoke
+.PHONY: build test vet lint lint-sarif lint-escapes race cover fuzz-smoke verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,26 @@ test:
 vet:
 	$(GO) vet ./...
 
-# themis-lint enforces simulation determinism (no wall clock, no global rand,
-# no map-order leaks into the event queue), protocol invariants (no raw PSN
-# comparisons, no bare picosecond literals), and hot-path complexity (no map
-# iteration reachable from TorPipeline methods). Non-zero exit on any finding.
+# themis-lint enforces the determinism contract statically: site rules (no
+# wall clock, no global rand, no map-order leaks into the event queue, no raw
+# PSN comparisons, no bare picosecond literals, no map iteration on TorPipeline
+# methods) plus three interprocedural families — nondeterminism taint
+# (source→sink paths into scheduling/trace/report/FIB sinks), concurrency
+# purity over the deterministic core, and allocation checks on the pinned
+# zero-alloc hot paths. Every //lint:* escape must carry a justification.
+# Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/themis-lint ./...
+
+# lint-sarif writes the machine-readable report CI uploads as an artifact;
+# taint findings carry their full source→sink path as SARIF codeFlows.
+lint-sarif:
+	$(GO) run ./cmd/themis-lint -sarif themis-lint.sarif ./...
+
+# lint-escapes prints the audit inventory: every active //lint:* directive
+# with its recorded justification.
+lint-escapes:
+	$(GO) run ./cmd/themis-lint -escapes ./...
 
 # The simulator is single-threaded, but run the whole tree under the race
 # detector anyway — it catches accidental goroutine leaks in new code.
@@ -48,8 +62,18 @@ fuzz-smoke:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzClassifyNACK -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
 
-# verify is the full pre-merge recipe.
-verify: build vet lint test race cover fuzz-smoke
+# verify is the full pre-merge recipe, staged so the cheap static gates run
+# (and fail) before any expensive dynamic stage: the ~4s lint pass proves the
+# determinism contract before the race/fuzz stages spend minutes exercising
+# it. The explicit sub-makes keep the ordering under `make -j` too.
+verify:
+	$(MAKE) build
+	$(MAKE) vet
+	$(MAKE) lint
+	$(MAKE) test
+	$(MAKE) race
+	$(MAKE) cover
+	$(MAKE) fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -52,7 +52,7 @@ func CheckInvariants(cl *workload.Cluster, remaining int) []string {
 	// Sorted ToR order keeps the violation list (and any log diff built from
 	// it) identical across runs.
 	tors := make([]int, 0, len(cl.Themis))
-	for sw := range cl.Themis { //lint:ordered
+	for sw := range cl.Themis { //lint:ordered keys are sorted below before any output is built
 		tors = append(tors, sw)
 	}
 	sort.Ints(tors)

@@ -276,6 +276,8 @@ func (th *Themis) Reboot() {
 // relearn attempts to rebuild flow state for an unknown QP from packet header
 // fields (Config.Relearn). Declined registrations are cached so the per-packet
 // cost is one map lookup.
+//
+//lint:alloc-ok per-flow (re)registration control branch, charged against the table budget; not per-packet work
 func (th *Themis) relearn(qp packet.QPID, src, dst packet.NodeID, sport uint16) {
 	if _, skip := th.relearnIgnored[qp]; skip {
 		return
@@ -316,7 +318,7 @@ func (th *Themis) PendingCompensations() int {
 // RingStats sums ring-queue occupancy over destination flows: entries can
 // never exceed capacity (entries are evicted, not leaked).
 func (th *Themis) RingStats() (entries, capacity int, overflows uint64) {
-	for _, fs := range th.dstFlows {
+	for _, fs := range th.dstFlows { //lint:ordered commutative integer sums over every flow; the totals are iteration-order-independent
 		entries += fs.ring.Len()
 		capacity += fs.ring.Cap()
 		overflows += fs.ring.Overflows()

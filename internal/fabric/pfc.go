@@ -103,7 +103,11 @@ func (s *swInst) sendPauseFrame(inPort int, pause bool) {
 	} else {
 		target = s.net.switches[p.PeerSwitch].ports[p.PeerPort]
 	}
-	s.net.engine.Schedule(sim.Duration(p.Delay), func() { target.setPaused(pause) })
+	fn := target.resumeFn
+	if pause {
+		fn = target.pauseFn
+	}
+	s.net.engine.Schedule(sim.Duration(p.Delay), fn)
 }
 
 // PFCStats reports (pauses, resumes) sent by a switch.

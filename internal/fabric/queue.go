@@ -32,6 +32,12 @@ type outQueue struct {
 	txDoneFn  func(any)
 	deliverFn func(any)
 
+	// pauseFn/resumeFn are the PFC pause/resume callbacks pre-bound once, so
+	// delivering a pause frame after its propagation delay schedules an
+	// existing closure instead of building one per frame.
+	pauseFn  func()
+	resumeFn func()
+
 	q     []*packet.Packet // data class FIFO
 	head  int
 	cq    []*packet.Packet // control class FIFO (strict priority)
@@ -57,15 +63,17 @@ type outQueue struct {
 func (q *outQueue) bind() {
 	q.txDoneFn = func(a any) { q.txDone(a.(*packet.Packet)) }
 	q.deliverFn = func(a any) { q.deliver(a.(*packet.Packet)) }
+	q.pauseFn = func() { q.setPaused(true) }
+	q.resumeFn = func() { q.setPaused(false) }
 	q.wdFn = q.watchdogCheck
 }
 
 // enqueue appends pkt to its class and starts the serializer if possible.
 func (q *outQueue) enqueue(pkt *packet.Packet) {
 	if pkt.Kind.IsControl() {
-		q.cq = append(q.cq, pkt)
+		q.cq = append(q.cq, pkt) //lint:alloc-ok FIFO growth is amortized; the backing array is retained
 	} else {
-		q.q = append(q.q, pkt)
+		q.q = append(q.q, pkt) //lint:alloc-ok FIFO growth is amortized; the backing array is retained
 		q.bytes += pkt.Size()
 		if q.paused {
 			q.armWatchdog()

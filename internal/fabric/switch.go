@@ -146,7 +146,7 @@ func (s *swInst) filterUp(cands []int) []int {
 	s.candScratch = s.candScratch[:0]
 	for _, c := range cands {
 		if s.portUp[c] {
-			s.candScratch = append(s.candScratch, c)
+			s.candScratch = append(s.candScratch, c) //lint:alloc-ok scratch grows to the max fan-out once, then is reused
 		}
 	}
 	return s.candScratch

@@ -38,7 +38,7 @@ func (f *Flowlet) Select(pkt *packet.Packet, cands []int, ctx Context) int {
 	now := ctx.Now()
 	e, ok := f.table[key]
 	if !ok {
-		e = &flowletEntry{port: Adaptive{}.Select(pkt, cands, ctx)}
+		e = &flowletEntry{port: Adaptive{}.Select(pkt, cands, ctx)} //lint:alloc-ok one entry per new flowlet key: per-flow setup, not per-packet
 		f.table[key] = e
 	} else if now.Sub(e.last) > f.Gap || !contains(cands, e.port) {
 		// New flowlet (or the cached port is no longer a valid candidate,

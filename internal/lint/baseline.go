@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is a checked-in set of accepted legacy findings. CI loads it so
+// new findings fail the build while known ones only annotate: the suite can
+// grow stricter without blocking on a flag-day cleanup. Entries match on
+// (rule, file, message) — line numbers are deliberately absent so unrelated
+// edits above a finding don't invalidate the baseline.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"` // module-root-relative, forward slashes
+	Message string `json:"message"`
+}
+
+func (e BaselineEntry) key() string { return e.Rule + "\x00" + e.File + "\x00" + e.Message }
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Filter splits findings into new ones (returned) and baselined ones
+// (counted). Each baseline entry absorbs any number of identical findings.
+func (b *Baseline) Filter(modRoot string, diags []Diagnostic) (fresh []Diagnostic, baselined int) {
+	accepted := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		accepted[e.key()] = true
+	}
+	for _, d := range diags {
+		e := BaselineEntry{Rule: d.Rule, File: relFile(modRoot, d.Pos.Filename), Message: d.Message}
+		if accepted[e.key()] {
+			baselined++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, baselined
+}
+
+// WriteBaseline serializes the findings as a baseline file, deduplicated and
+// sorted for stable diffs.
+func WriteBaseline(path, modRoot string, diags []Diagnostic) error {
+	seen := make(map[string]bool)
+	b := Baseline{Version: 1}
+	for _, d := range diags {
+		e := BaselineEntry{Rule: d.Rule, File: relFile(modRoot, d.Pos.Filename), Message: d.Message}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 )
 
 // sinkNames lists the functions whose invocation order is order-sensitive
@@ -11,20 +13,35 @@ import (
 // reachable must not iterate maps (see MapOrder).
 func sinkNames(modPath string) map[string]bool {
 	return map[string]bool{
-		"(*" + modPath + "/internal/sim.Engine).At":            true,
-		"(*" + modPath + "/internal/sim.Engine).Schedule":      true,
-		"(*" + modPath + "/internal/sim.Timer).Reset":          true,
-		"(*" + modPath + "/internal/sim.Ticker).Start":         true,
-		"(*" + modPath + "/internal/trace.Tracer).Record":      true,
+		"(*" + modPath + "/internal/sim.Engine).At":             true,
+		"(*" + modPath + "/internal/sim.Engine).Schedule":       true,
+		"(*" + modPath + "/internal/sim.Timer).Reset":           true,
+		"(*" + modPath + "/internal/sim.Ticker).Start":          true,
+		"(*" + modPath + "/internal/trace.Tracer).Record":       true,
 		"(*" + modPath + "/internal/trace.Tracer).RecordPacket": true,
-		"(*" + modPath + "/internal/trace.Tracer).RecordFault": true,
-		"(*" + modPath + "/internal/fabric.Network).Inject":    true,
+		"(*" + modPath + "/internal/trace.Tracer).RecordFault":  true,
+		"(*" + modPath + "/internal/fabric.Network).Inject":     true,
 	}
 }
 
-// BuildReach computes, over all loaded module packages, the set of functions
-// (keyed by types.Func.FullName) from which an event-queue or trace sink is
-// reachable through the static call graph. The graph is simple by design:
+// CallEdge is one statically-resolved call: Caller invokes Callee at Pos.
+// Interface calls fan out into one edge per concrete module implementation.
+type CallEdge struct {
+	Caller string // types.Func.FullName of the enclosing declaration
+	Callee string // types.Func.FullName of the resolved callee
+	Pos    token.Pos
+}
+
+// FuncInfo ties a module function's type object to its declaration site.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Graph is the module-wide static call graph shared by the interprocedural
+// analyzers (map-order reach, nondeterminism taint, hot-path allocation).
+// The construction is simple by design:
 //
 //   - direct calls (pkg.F, recv.M, local f) produce edges;
 //   - calls through an interface method are resolved class-hierarchy style to
@@ -32,11 +49,19 @@ func sinkNames(modPath string) map[string]bool {
 //   - calls through plain function values are not tracked.
 //
 // Closures count toward their enclosing declaration: a function that builds
-// an event callback inside a map range is exactly the bug the analyzer is
-// hunting, even though the callback body runs later.
-func BuildReach(pkgs []*Package, modPath string) map[string]bool {
-	sinks := sinkNames(modPath)
+// an event callback inside a map range is exactly the bug the taint and
+// map-order analyzers hunt, even though the callback body runs later.
+type Graph struct {
+	// Edges holds the out-edges of each caller, in source order.
+	Edges map[string][]CallEdge
+	// Funcs maps FullName to the declaration for every module function.
+	Funcs map[string]*FuncInfo
+	// FuncNames is the deterministic iteration order over Funcs.
+	FuncNames []string
+}
 
+// BuildGraph constructs the call graph over all loaded module packages.
+func BuildGraph(pkgs []*Package, modPath string) *Graph {
 	// Concrete (non-interface) named types, for interface-call resolution.
 	var concrete []types.Type
 	for _, p := range pkgs {
@@ -69,7 +94,10 @@ func BuildReach(pkgs []*Package, modPath string) map[string]bool {
 		return out
 	}
 
-	edges := make(map[string][]string)
+	g := &Graph{
+		Edges: make(map[string][]CallEdge),
+		Funcs: make(map[string]*FuncInfo),
+	}
 	for _, p := range pkgs {
 		for _, f := range p.Files {
 			for _, decl := range f.Decls {
@@ -82,6 +110,8 @@ func BuildReach(pkgs []*Package, modPath string) map[string]bool {
 					continue
 				}
 				from := caller.FullName()
+				g.Funcs[from] = &FuncInfo{Fn: caller, Decl: fd, Pkg: p}
+				g.FuncNames = append(g.FuncNames, from)
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					call, ok := n.(*ast.CallExpr)
 					if !ok {
@@ -91,11 +121,11 @@ func BuildReach(pkgs []*Package, modPath string) map[string]bool {
 					if fn == nil {
 						return true
 					}
-					edges[from] = append(edges[from], fn.FullName())
+					g.Edges[from] = append(g.Edges[from], CallEdge{Caller: from, Callee: fn.FullName(), Pos: call.Pos()})
 					if recv := recvOf(fn); recv != nil {
 						if iface, ok := recv.Underlying().(*types.Interface); ok {
 							for _, impl := range implementers(iface, fn.Name(), fn.Pkg()) {
-								edges[from] = append(edges[from], impl.FullName())
+								g.Edges[from] = append(g.Edges[from], CallEdge{Caller: from, Callee: impl.FullName(), Pos: call.Pos()})
 							}
 						}
 					}
@@ -104,12 +134,42 @@ func BuildReach(pkgs []*Package, modPath string) map[string]bool {
 			}
 		}
 	}
+	sort.Strings(g.FuncNames)
+	return g
+}
 
-	// Reverse reachability from the sinks.
+// ReachableFrom computes the forward closure of the given roots: every
+// function reachable from a root through the static call graph, roots
+// included (when they exist in the module).
+func (g *Graph) ReachableFrom(roots []string) map[string]bool {
+	hot := make(map[string]bool)
+	var queue []string
+	for _, r := range roots {
+		if !hot[r] {
+			hot[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Edges[cur] {
+			if !hot[e.Callee] {
+				hot[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return hot
+}
+
+// ReachingTo computes the reverse closure of the given sinks: every function
+// from which a sink is reachable through the static call graph.
+func (g *Graph) ReachingTo(sinks map[string]bool) map[string]bool {
 	rev := make(map[string][]string)
-	for from, tos := range edges {
-		for _, to := range tos {
-			rev[to] = append(rev[to], from)
+	for _, edges := range g.Edges {
+		for _, e := range edges {
+			rev[e.Callee] = append(rev[e.Callee], e.Caller)
 		}
 	}
 	reach := make(map[string]bool)
@@ -129,6 +189,13 @@ func BuildReach(pkgs []*Package, modPath string) map[string]bool {
 		}
 	}
 	return reach
+}
+
+// BuildReach computes, over all loaded module packages, the set of functions
+// (keyed by types.Func.FullName) from which an event-queue or trace sink is
+// reachable through the static call graph.
+func BuildReach(pkgs []*Package, modPath string) map[string]bool {
+	return BuildGraph(pkgs, modPath).ReachingTo(sinkNames(modPath))
 }
 
 // calleeFunc resolves the statically-known callee of a call expression.

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Escapes audits the suite's escape hatches. Every `//lint:*` directive —
+// `//lint:ordered`, `//lint:hotpath-ok`, `//lint:purity-ok`,
+// `//lint:alloc-ok`, `//lint:taint-ok` — suppresses a real analyzer, so each
+// must carry a justification after the directive recording what was reviewed
+// and why the suppression is sound. A bare escape is itself a finding, and an
+// unknown directive (a typo silently suppressing nothing) is too.
+// `themis-lint -escapes` lists every active escape with its location.
+var Escapes = &Analyzer{
+	Name: "escapes",
+	Doc:  "require a justification on every //lint:* escape directive",
+	Run:  runEscapes,
+}
+
+// knownDirectives are the escape markers honored by the suite.
+var knownDirectives = map[string]bool{
+	"ordered":    true,
+	"hotpath-ok": true,
+	"purity-ok":  true,
+	"alloc-ok":   true,
+	"taint-ok":   true,
+}
+
+func runEscapes(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				directive, just, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if !knownDirectives[directive] {
+					diags = append(diags, Diagnostic{
+						Pos:     pass.Fset.Position(c.Pos()),
+						Rule:    "escapes",
+						Message: fmt.Sprintf("unknown lint directive //lint:%s suppresses nothing — known directives: %s", directive, knownDirectiveList()),
+					})
+					continue
+				}
+				if just == "" {
+					diags = append(diags, Diagnostic{
+						Pos:     pass.Fset.Position(c.Pos()),
+						Rule:    "escapes",
+						Message: fmt.Sprintf("bare //lint:%s escape without justification — state what was reviewed and why the suppression is sound", directive),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// parseDirective recognizes `//lint:<directive> <justification>` comments.
+// The directive must follow `//` immediately (prose mentioning a directive
+// after a space is not a directive).
+func parseDirective(text string) (directive, justification string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//lint:")
+	if !found {
+		return "", "", false
+	}
+	directive = rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		directive = rest[:i]
+		justification = strings.TrimSpace(rest[i+1:])
+	}
+	// Strip decorative separators so `//lint:ordered — reason` and
+	// `//lint:ordered: reason` both count the reason, but `//lint:ordered —`
+	// does not.
+	justification = strings.TrimLeft(justification, "—–-: \t")
+	justification = strings.TrimSpace(justification)
+	return directive, justification, directive != ""
+}
+
+func knownDirectiveList() string {
+	names := make([]string, 0, len(knownDirectives))
+	for n := range knownDirectives {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return "lint:" + strings.Join(names, ", lint:")
+}
+
+// ActiveEscape is one escape directive with its resolved location, for the
+// `themis-lint -escapes` inventory.
+type ActiveEscape struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Directive     string `json:"directive"`
+	Justification string `json:"justification"`
+}
+
+// ListEscapes loads the packages matched by patterns and returns every
+// active escape directive, in file/line order.
+func ListEscapes(modRoot string, patterns []string) ([]ActiveEscape, error) {
+	ldr, err := NewLoader(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(modRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []ActiveEscape
+	for _, dir := range dirs {
+		p, err := ldr.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: loading %s: %w", dir, err)
+		}
+		rel, ok := relPkgPath(ldr.ModPath, p.Path)
+		if !ok || rel == "internal/lint" || strings.HasPrefix(rel, "internal/lint/") {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					directive, just, ok := parseDirective(c.Text)
+					if !ok || !knownDirectives[directive] {
+						continue
+					}
+					pos := ldr.Fset.Position(c.Pos())
+					out = append(out, ActiveEscape{File: pos.Filename, Line: pos.Line, Directive: directive, Justification: just})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -10,9 +10,10 @@ import (
 	"testing"
 )
 
-// wantRe extracts `// want "..."` expectations from fixture lines. The quoted
-// text is a regexp matched against the diagnostic message.
-var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+// wantRe extracts `// want "..."` (or `/* want "..." */`, for lines whose
+// line comment is itself under test) expectations from fixture lines. The
+// quoted text is a regexp matched against the diagnostic message.
+var wantRe = regexp.MustCompile(`(?://|/\*) want "([^"]*)"`)
 
 // expectation is one `// want` marker.
 type expectation struct {
@@ -64,19 +65,33 @@ func TestGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, family := range []string{"wallclock", "maporder", "psncompare", "timeunits", "hotpath"} {
+	families := []string{
+		"wallclock", "maporder", "psncompare", "timeunits", "hotpath",
+		"ndtaint", "purity", "hotalloc", "escapes",
+	}
+	// One loader and one Program over every fixture package: the
+	// interprocedural analyzers key their module-wide results by package, so
+	// fixtures cannot contaminate each other, and sharing the stdlib
+	// type-check keeps the suite fast.
+	ldr, err := NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := make(map[string]*Package, len(families))
+	for _, family := range families {
+		dir := filepath.Join(modRoot, "internal", "lint", "testdata", "src", family)
+		pkg, err := ldr.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", family, err)
+		}
+		pkgs[family] = pkg
+	}
+	prog := NewProgram(ldr.Fset, ldr.Packages(), ldr.ModPath)
+	reach := prog.Reach()
+	for _, family := range families {
 		t.Run(family, func(t *testing.T) {
 			dir := filepath.Join(modRoot, "internal", "lint", "testdata", "src", family)
-			ldr, err := NewLoader(modRoot)
-			if err != nil {
-				t.Fatal(err)
-			}
-			pkg, err := ldr.LoadDir(dir)
-			if err != nil {
-				t.Fatalf("loading fixture: %v", err)
-			}
-			reach := BuildReach(ldr.Packages(), ldr.ModPath)
-			pass := &Pass{Fset: ldr.Fset, Pkg: pkg, Reach: reach}
+			pass := &Pass{Fset: ldr.Fset, Pkg: pkgs[family], Reach: reach, Prog: prog}
 			var got []Diagnostic
 			for _, a := range Analyzers {
 				got = append(got, a.Run(pass)...)

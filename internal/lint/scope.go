@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// relPkgPath normalizes an import path against the module path read from
+// go.mod at load time. It returns "" for the module root and the
+// slash-separated subdirectory ("internal/sim", "cmd/themis-lint", ...) for
+// subpackages; ok is false for packages outside the module, which are never
+// in scope. Scoping decisions work on this normalized form only — no
+// analyzer string-matches absolute module paths.
+func relPkgPath(modPath, pkgPath string) (rel string, ok bool) {
+	if pkgPath == modPath {
+		return "", true
+	}
+	if rest, found := strings.CutPrefix(pkgPath, modPath+"/"); found {
+		return rest, true
+	}
+	return "", false
+}
+
+// hasPathSegment reports whether rel contains the given path segment (e.g.
+// "testdata" in "internal/lint/testdata/src/maporder").
+func hasPathSegment(rel, seg string) bool {
+	for rel != "" {
+		head, rest, _ := strings.Cut(rel, "/")
+		if head == seg {
+			return true
+		}
+		rel = rest
+	}
+	return false
+}
+
+// purityScope lists the deterministic-core package subtrees (relative to the
+// module root) that must stay free of concurrency primitives so the sharded
+// space-parallel engine can assume a provably goroutine-free single shard.
+// internal/exp is included because its Runner is the one sanctioned worker
+// pool: the allowlist in purity.go carves out exactly (*exp.Runner).Run.
+var purityScope = []string{
+	"internal/sim",
+	"internal/fabric",
+	"internal/rnic",
+	"internal/core",
+	"internal/route",
+	"internal/lb",
+	"internal/cc",
+	"internal/exp",
+}
+
+// inPurityScope reports whether the normalized package path is inside one of
+// the deterministic-core subtrees.
+func inPurityScope(rel string) bool {
+	for _, s := range purityScope {
+		if rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// inScope applies the per-analyzer package scoping to a normalized module
+// path (see relPkgPath):
+//   - the lint package, its fixtures, and any testdata tree are exempt from
+//     everything (fixtures contain violations on purpose);
+//   - no-wallclock runs on simulation packages (internal/...) only — CLIs may
+//     legitimately read the wall clock for progress reporting;
+//   - time-units skips package sim itself, which defines the unit constants;
+//   - hotpath is scoped to internal/core, where the TorPipeline middleware
+//     lives; hot-alloc scopes itself through the hot-function set instead;
+//   - purity covers the deterministic-core subtrees listed in purityScope.
+func inScope(a *Analyzer, rel string) bool {
+	if rel == "internal/lint" || strings.HasPrefix(rel, "internal/lint/") {
+		return false
+	}
+	if hasPathSegment(rel, "testdata") {
+		return false
+	}
+	switch a {
+	case Wallclock:
+		return strings.HasPrefix(rel, "internal/")
+	case TimeUnits:
+		return rel != "internal/sim"
+	case Hotpath:
+		// The TorPipeline hot-path rule is about the middleware itself; other
+		// packages may legitimately name a method SelectUplink (e.g. stubs in
+		// fabric tests).
+		return rel == "internal/core"
+	case Purity:
+		return inPurityScope(rel)
+	default:
+		return true
+	}
+}
+
+// expandPatterns resolves go-style package patterns to directories holding at
+// least one non-test Go file.
+func expandPatterns(modRoot string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "" || pat == "." {
+			pat = modRoot
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(modRoot, pat)
+		}
+		if !recursive {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

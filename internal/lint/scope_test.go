@@ -1,0 +1,94 @@
+package lint
+
+import "testing"
+
+// TestRelPkgPath pins the module-path normalization every scoping decision
+// runs on: absolute import paths are stripped against the go.mod module path
+// exactly — not by substring — so a module named themis never claims packages
+// from a sibling module like themis-extra.
+func TestRelPkgPath(t *testing.T) {
+	cases := []struct {
+		mod, pkg string
+		rel      string
+		ok       bool
+	}{
+		{"themis", "themis", "", true},
+		{"themis", "themis/internal/sim", "internal/sim", true},
+		{"themis", "themis/cmd/themis-lint", "cmd/themis-lint", true},
+		{"themis", "themis/internal/lint/testdata/src/maporder", "internal/lint/testdata/src/maporder", true},
+		{"themis", "themis-extra/internal/sim", "", false},
+		{"themis", "other/themis/internal/sim", "", false},
+		{"themis", "fmt", "", false},
+		{"example.com/deep/mod", "example.com/deep/mod/internal/core", "internal/core", true},
+	}
+	for _, c := range cases {
+		rel, ok := relPkgPath(c.mod, c.pkg)
+		if rel != c.rel || ok != c.ok {
+			t.Errorf("relPkgPath(%q, %q) = %q, %v; want %q, %v", c.mod, c.pkg, rel, ok, c.rel, c.ok)
+		}
+	}
+}
+
+// TestInScope pins the per-analyzer package scoping on the normalized paths.
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		rel  string
+		want bool
+	}{
+		// The lint package and every testdata tree are exempt from everything.
+		{MapOrder, "internal/lint", false},
+		{MapOrder, "internal/lint/testdata/src/maporder", false},
+		{NDTaint, "internal/lint/testdata/src/ndtaint", false},
+		{Wallclock, "cmd/testdata", false},
+
+		// wallclock: simulation packages only; CLIs may read the wall clock.
+		{Wallclock, "internal/sim", true},
+		{Wallclock, "cmd/themis-sim", false},
+
+		// time-units: everywhere except package sim, which defines the units.
+		{TimeUnits, "internal/sim", false},
+		{TimeUnits, "internal/fabric", true},
+
+		// hotpath: the TorPipeline middleware package only.
+		{Hotpath, "internal/core", true},
+		{Hotpath, "internal/fabric", false},
+
+		// purity: the deterministic-core subtrees, including internal/exp.
+		{Purity, "internal/sim", true},
+		{Purity, "internal/exp", true},
+		{Purity, "internal/route/subpkg", true},
+		{Purity, "internal/obs", false},
+		{Purity, "cmd/themis-sim", false},
+
+		// whole-program analyzers run for every in-module target package.
+		{NDTaint, "internal/obs", true},
+		{HotAlloc, "cmd/themis-sim", true},
+		{Escapes, "internal/chaos", true},
+	}
+	for _, c := range cases {
+		if got := inScope(c.a, c.rel); got != c.want {
+			t.Errorf("inScope(%s, %q) = %v, want %v", c.a.Name, c.rel, got, c.want)
+		}
+	}
+}
+
+// TestHasPathSegment guards the testdata exemption helper: segment matches
+// must be whole path elements, not substrings.
+func TestHasPathSegment(t *testing.T) {
+	cases := []struct {
+		rel, seg string
+		want     bool
+	}{
+		{"internal/lint/testdata/src/x", "testdata", true},
+		{"testdata", "testdata", true},
+		{"internal/testdatax/pkg", "testdata", false},
+		{"internal/mytestdata", "testdata", false},
+		{"", "testdata", false},
+	}
+	for _, c := range cases {
+		if got := hasPathSegment(c.rel, c.seg); got != c.want {
+			t.Errorf("hasPathSegment(%q, %q) = %v, want %v", c.rel, c.seg, got, c.want)
+		}
+	}
+}

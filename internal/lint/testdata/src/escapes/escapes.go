@@ -1,0 +1,32 @@
+// Package escapes is a themis-lint golden fixture for the escape-hatch
+// audit: every //lint:* directive must carry a justification recording what
+// was reviewed, and an unknown directive — a typo silently suppressing
+// nothing — is a finding in its own right. The markers sit in block comments
+// because the directive itself must be the whole line comment.
+package escapes
+
+// justified escapes are inventory (see themis-lint -escapes), not findings.
+func ok(m map[int]int) int {
+	s := 0
+	for _, v := range m { //lint:ordered commutative sum; reviewed with the 2026-08 determinism audit
+		s += v
+	}
+	return s
+}
+
+// bare: the directive suppresses the map-order analyzer but records nothing.
+func bare(m map[int]int) {
+	for k := range m { /* want "bare //lint:ordered escape without justification" */ //lint:ordered
+		_ = k
+	}
+}
+
+// dashed: decorative separators alone do not count as a justification.
+func dashed(m map[int]int) {
+	for k := range m { /* want "bare //lint:ordered escape without justification" */ //lint:ordered —
+		_ = k
+	}
+}
+
+// typo: the directive is not one the suite honors, so it suppresses nothing.
+var _ = 0 /* want "unknown lint directive //lint:taintok suppresses nothing" */ //lint:taintok the right spelling is taint-ok

@@ -1,0 +1,101 @@
+// Package hotalloc is a themis-lint golden fixture for the hot-path
+// allocation analyzer: allocation sites reachable from a pinned zero-alloc
+// root (here the TorPipeline entry methods, matched by name) are flagged
+// with the full root→site call chain. Arguments to panic() are cold, a
+// line-level //lint:alloc-ok accepts one reviewed site, and a
+// declaration-level //lint:alloc-ok excludes a whole reviewed cold branch —
+// its callees included — from the hot set.
+package hotalloc
+
+import "fmt"
+
+type entry struct{ port int }
+
+type pipeline struct {
+	table   map[uint32]*entry
+	scratch []int
+	names   map[string]int
+}
+
+// SelectUplink is a hot root by method name: every allocating form in the
+// body is flagged.
+func (p *pipeline) SelectUplink(n int) int {
+	p.guard(n)
+	e := &entry{port: n}               // want "&composite literal in .*SelectUplink"
+	ids := make([]int, 0, n)           // want "make\(\[\]T\) in .*SelectUplink"
+	seen := make(map[int]bool)         // want "make\(map\) in .*SelectUplink"
+	q := new(entry)                    // want "new\(T\) in .*SelectUplink"
+	cb := func() int { return e.port } // want "closure \(func literal\) in .*SelectUplink"
+	ids = p.grow(ids)
+	_ = seen
+	_ = q
+	return cb() + len(ids)
+}
+
+// OnDeliverToHost reaches its allocations through helpers: each finding's
+// path names the chain.
+func (p *pipeline) OnDeliverToHost(k uint32) *entry {
+	p.refill(int(k))
+	return p.lookup(k)
+}
+
+// lookup is transitively hot via OnDeliverToHost.
+func (p *pipeline) lookup(k uint32) *entry {
+	e, ok := p.table[k]
+	if !ok {
+		e = &entry{} // want "&composite literal in .*lookup"
+		p.table[k] = e
+	}
+	return e
+}
+
+// FilterHostControl shows the boxing finding: a non-pointer-shaped concrete
+// value passed to an interface parameter is copied to the heap.
+func (p *pipeline) FilterHostControl(id uint32) {
+	if id == 0 {
+		p.register(id)
+	}
+	p.log("drop", id) // want "interface boxing of uint32 into log parameter in .*FilterHostControl"
+}
+
+func (p *pipeline) log(msg string, args ...any) { _, _ = msg, args }
+
+// grow returns an append: the grown backing array escapes to the caller.
+func (p *pipeline) grow(xs []int) []int {
+	return append(xs, 1) // want "append returned to the caller in .*grow"
+}
+
+// guard panics on contract violation: a panicking run is over, so the
+// message formatting — boxing included — is cold and not flagged.
+func (p *pipeline) guard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("hotalloc: negative count %d", n))
+	}
+}
+
+// refill shows the line-level escape: growth is amortized, reviewed.
+func (p *pipeline) refill(x int) {
+	p.scratch = append(p.scratch, x) //lint:alloc-ok scratch grows once to the high-water mark, then is reused
+}
+
+// register is a reviewed cold branch reachable from a hot entry: the
+// declaration-level escape excludes the whole function, and expand below
+// stays out of the hot set because this is its only caller.
+//
+//lint:alloc-ok per-flow registration: runs once per new flow, not per packet
+func (p *pipeline) register(k uint32) *entry {
+	e := &entry{}
+	p.table[k] = e
+	p.expand()
+	return e
+}
+
+// expand is only called from the cold register: not scanned.
+func (p *pipeline) expand() {
+	p.names = make(map[string]int)
+}
+
+// Stats is never called from a hot entry: allocation is fine here.
+func (p *pipeline) Stats() []int {
+	return make([]int, 8)
+}

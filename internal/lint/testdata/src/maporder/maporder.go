@@ -34,14 +34,14 @@ func (n *node) deferred(m map[int]int) {
 	// they run later.
 	for k := range m { // want "map iteration in deferred, which reaches the event queue"
 		k := k
-		n.eng.At(sim.Time(k), func() {})
+		n.eng.At(sim.Time(k), func() {}) // want "nondeterministic value \(map iteration order, maporder.go:\d+\) reaches event scheduling"
 	}
 }
 
 func (n *node) annotated(m map[int]int) {
 	// Deleting independent entries is commutative; the annotation records
 	// that the body was audited.
-	for k := range m { //lint:ordered
+	for k := range m { //lint:ordered deleting independent entries is commutative
 		delete(m, k)
 	}
 	n.fire()

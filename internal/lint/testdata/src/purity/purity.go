@@ -1,0 +1,58 @@
+// Package purity is a themis-lint golden fixture for the concurrency-purity
+// analyzer: the deterministic core must stay free of goroutines, channels,
+// select and sync primitives (the event loop is the only scheduler), and a
+// justified //lint:purity-ok records the review of anything unavoidable.
+package purity
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type worker struct {
+	mu   sync.Mutex // want "sync.Mutex in the deterministic core"
+	hits uint64
+}
+
+// spawn exercises every banned construct around a goroutine fan-out.
+func (w *worker) spawn(jobs []func()) {
+	done := make(chan struct{}) // want "make\(chan\) in the deterministic core"
+	for _, j := range jobs {
+		j := j
+		go func() { // want "go statement in the deterministic core"
+			j()
+			done <- struct{}{} // want "channel send in the deterministic core"
+		}()
+	}
+	for range jobs {
+		<-done // want "channel receive in the deterministic core"
+	}
+	close(done) // want "close on channel in the deterministic core"
+}
+
+// drain shows the range-over-channel form.
+func (w *worker) drain(ch chan int) int {
+	total := 0
+	for v := range ch { // want "range over channel in the deterministic core"
+		total += v
+	}
+	return total
+}
+
+// count uses the atomic package: flagged at the selector.
+func (w *worker) count() {
+	atomic.AddUint64(&w.hits, 1) // want "atomic.AddUint64 in the deterministic core"
+}
+
+// guarded shows the reviewed escape: the justification records why the
+// primitive cannot leak into simulation state.
+type guarded struct {
+	mu sync.Mutex //lint:purity-ok guards a debug-only registry that is never read on the sim path
+}
+
+// pure is the idiomatic alternative: plain sequential control flow.
+func pure(jobs []func()) {
+	for _, j := range jobs {
+		j()
+	}
+}

@@ -159,17 +159,17 @@ func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{}
 	// Map iteration order is irrelevant here: the slices are sorted by name
 	// before the snapshot is returned.
-	for _, c := range r.counters { //lint:ordered
+	for _, c := range r.counters { //lint:ordered snapshot slices are sorted by name before return
 		s.Counters = append(s.Counters, MetricValue{Name: c.name, Value: float64(c.v)})
 	}
-	for name, fns := range r.gauges { //lint:ordered
+	for name, fns := range r.gauges { //lint:ordered snapshot slices are sorted by name before return
 		sum := 0.0
 		for _, fn := range fns {
 			sum += fn()
 		}
 		s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: sum})
 	}
-	for _, h := range r.hists { //lint:ordered
+	for _, h := range r.hists { //lint:ordered snapshot slices are sorted by name before return
 		hv := HistogramValue{Name: h.name, Count: len(h.samples)}
 		if len(h.samples) > 0 {
 			hv.Mean = stats.Mean(h.samples)

@@ -176,7 +176,7 @@ func (n *NIC) registerMetrics(r *obs.Registry) {
 		return func() float64 {
 			total := field(&n.closedStats)
 			// Summation is commutative; iteration order cannot leak.
-			for _, s := range n.senders { //lint:ordered
+			for _, s := range n.senders { //lint:ordered commutative sum over per-sender counters
 				total += field(&s.stats)
 			}
 			return float64(total)

@@ -339,7 +339,7 @@ func (s *SenderQP) advanceCumAck(epsn packet.PSN) {
 	}
 	// Drop tail-size records below the ack point. Deleting stale entries is
 	// commutative, so the map iteration order cannot leak into the run.
-	for psn := range s.lastSize { //lint:ordered
+	for psn := range s.lastSize { //lint:ordered commutative deletes of stale entries
 		if psn.Before(epsn) {
 			delete(s.lastSize, psn)
 		}
