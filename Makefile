@@ -4,7 +4,7 @@ GO ?= go
 # enforces.
 COVER_FLOOR ?= 70
 
-.PHONY: build test vet lint lint-sarif lint-escapes race cover fuzz-smoke verify bench bench-smoke
+.PHONY: build test vet lint lint-sarif lint-escapes race race-sim cover fuzz-smoke verify bench bench-smoke bench-shard
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,18 @@ lint-sarif:
 lint-escapes:
 	$(GO) run ./cmd/themis-lint -escapes ./...
 
-# The simulator is single-threaded, but run the whole tree under the race
-# detector anyway — it catches accidental goroutine leaks in new code.
+# The simulator core is single-threaded per shard, but run the whole tree
+# under the race detector anyway — it catches accidental goroutine leaks in
+# new code.
 race:
 	$(GO) test -race ./...
+
+# race-sim is the focused race gate for the one package that is genuinely
+# concurrent: the shard coordinator's barrier loop, mailboxes and worker pool
+# live in internal/sim, so its tests run under -race on every verify even when
+# the full-tree race stage is skipped locally.
+race-sim:
+	$(GO) test -race ./internal/sim/...
 
 # cover gates statement coverage on the simulation packages: the observability
 # and fuzz hardening work is only worth keeping if the floor holds.
@@ -71,6 +79,7 @@ verify:
 	$(MAKE) vet
 	$(MAKE) lint
 	$(MAKE) test
+	$(MAKE) race-sim
 	$(MAKE) race
 	$(MAKE) cover
 	$(MAKE) fuzz-smoke
@@ -89,3 +98,10 @@ bench-smoke: lint
 	$(GO) run ./cmd/themis-sim sweep -grid smoke -seeds 2 -parallel 2 -json BENCH_smoke.json
 	$(GO) run ./cmd/themis-sim sweep -grid churn -seeds 2 -parallel 2 -json BENCH_churn.json
 	$(GO) run ./cmd/themis-sim sweep -grid convergence -seeds 2 -parallel 2 -json BENCH_convergence.json
+
+# bench-shard measures the space-parallel engine's scaling: the k=8 fat-tree
+# permutation at 1, 2 and 4 shards (see BenchmarkShardScaling). Numbers are
+# recorded in PERF.md; rerun this after touching the coordinator or the
+# sharded fabric path.
+bench-shard:
+	$(GO) test -run '^$$' -bench BenchmarkShardScaling -benchmem ./internal/workload/

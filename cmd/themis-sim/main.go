@@ -8,8 +8,9 @@
 //	    [-bytes N] [-ti us] [-td us] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-seed S]
 //	    One Fig. 5 cell: tail completion time of the slowest group.
 //
-//	themis-sim run [-workload motivation|collective|incast|chaos|churn|convergence] [-lb ...] [-transport ...]
-//	    [-pattern ...] [-bytes N] [-seed S] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-json out.json]
+//	themis-sim run [-workload motivation|collective|incast|chaos|churn|convergence|spray] [-lb ...] [-transport ...]
+//	    [-pattern ...] [-bytes N] [-seed S] [-leaves N] [-spines N] [-hosts N] [-fattree-k K] [-bw gbps]
+//	    [-shards N] [-json out.json]
 //	    [-qps N] [-concurrency N] [-faults] [-table-budget BYTES] [-idle-timeout US] [-relearn]
 //	    [-distributed] [-convergence-delay US] [-drain]
 //	    [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
@@ -27,10 +28,14 @@
 //	    oracle fixed point, bit-identical to oracle mode); the convergence
 //	    workload runs the seeded routing-stressor fault schedule (flap
 //	    storms, pod-uplink loss, maintenance drains) and -drain appends an
-//	    explicit maintenance drain to it.
+//	    explicit maintenance drain to it. The spray workload is the
+//	    space-parallel fat-tree permutation (-fattree-k sets the radix);
+//	    -shards N partitions any workload's trial across N engine shards —
+//	    results are byte-identical for every shard count, so like -parallel
+//	    it is an execution knob, not an experiment arm.
 //
-//	themis-sim sweep [-grid fig5|fig1|smoke|chaos|churn|convergence|queue-factor|path-subset|loss-recovery]
-//	    [-pattern allreduce|alltoall] [-bytes N] [-seed S] [-seeds N] [-parallel N] [-json out.json]
+//	themis-sim sweep [-grid fig5|fig1|smoke|chaos|churn|convergence|spray|queue-factor|path-subset|loss-recovery]
+//	    [-pattern allreduce|alltoall] [-bytes N] [-seed S] [-seeds N] [-parallel N] [-shards N] [-json out.json]
 //	    [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
 //	    A scenario grid through the parallel runner (default: the full Fig. 5
 //	    matrix, all five DCQCN settings × {ECMP, AR, Themis}). -parallel N
@@ -253,10 +258,10 @@ func runCollective(args []string) error {
 
 func parseWorkload(s string) (exp.Workload, error) {
 	switch exp.Workload(s) {
-	case exp.Motivation, exp.Collective, exp.Incast, exp.Chaos, exp.Churn, exp.Convergence:
+	case exp.Motivation, exp.Collective, exp.Incast, exp.Chaos, exp.Churn, exp.Convergence, exp.Spray:
 		return exp.Workload(s), nil
 	default:
-		return "", fmt.Errorf("unknown workload %q (motivation|collective|incast|chaos|churn|convergence)", s)
+		return "", fmt.Errorf("unknown workload %q (motivation|collective|incast|chaos|churn|convergence|spray)", s)
 	}
 }
 
@@ -290,7 +295,7 @@ func printTrial(t exp.Trial) {
 
 func runScenario(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	wl := fs.String("workload", "collective", "workload: motivation|collective|incast|chaos|churn|convergence")
+	wl := fs.String("workload", "collective", "workload: motivation|collective|incast|chaos|churn|convergence|spray")
 	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall")
 	lbs := fs.String("lb", "themis", "load balancing arm")
 	transport := fs.String("transport", "nic-sr", "reliable transport: nic-sr|ideal|gbn")
@@ -300,6 +305,8 @@ func runScenario(args []string) error {
 	spines := fs.Int("spines", 0, "spine switches")
 	hosts := fs.Int("hosts", 0, "hosts per leaf")
 	bw := fs.Float64("bw", 0, "link bandwidth, Gbps")
+	shards := fs.Int("shards", 0, "space-parallel engine shards (0 = classic single engine; results are byte-identical for any value)")
+	fatTreeK := fs.Int("fattree-k", 0, "spray: fat-tree radix k (0 = workload default)")
 	qps := fs.Int("qps", 0, "churn: total flows opened over the run (0 = workload default)")
 	concurrency := fs.Int("concurrency", 0, "churn: flows open at a time (0 = workload default)")
 	faults := fs.Bool("faults", false, "churn: inject seeded ToR reboots and a link flap")
@@ -333,10 +340,11 @@ func runScenario(args []string) error {
 		return err
 	}
 	sc := exp.Scenario{
-		Workload: w, Seed: *seed,
+		Workload: w, Seed: *seed, Shards: *shards,
 		Pattern: p, LB: lbMode, Transport: tr,
 		MessageBytes: *bytes,
 		Leaves:       *leaves, Spines: *spines, HostsPerLeaf: *hosts,
+		FatTreeK:  *fatTreeK,
 		Bandwidth: int64(*bw * 1e9),
 		QPs:       *qps, Concurrency: *concurrency, Faults: *faults,
 
@@ -384,12 +392,13 @@ func printSnapshot(s *obs.Snapshot) {
 
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	gridName := fs.String("grid", "fig5", "scenario grid: fig5|fig1|smoke|chaos|churn|convergence|queue-factor|path-subset|loss-recovery")
+	gridName := fs.String("grid", "fig5", "scenario grid: fig5|fig1|smoke|chaos|churn|convergence|spray|queue-factor|path-subset|loss-recovery")
 	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall (fig5)")
 	bytes := fs.Int64("bytes", 300<<20, "collective size per group (fig5) / message size (fig1)")
 	seed := fs.Int64("seed", 1, "random seed (first seed for multi-seed grids)")
 	seeds := fs.Int("seeds", 1, "seed count (fig1, smoke, chaos)")
 	parallel := fs.Int("parallel", 1, "worker pool size")
+	shards := fs.Int("shards", 0, "space-parallel engine shards per trial (0 = classic single engine; reports are byte-identical for any value)")
 	jsonOut := fs.String("json", "", "write the aggregated report JSON to this path")
 	metrics := fs.Bool("metrics", false, "snapshot a per-trial metrics registry into each record")
 	flightDir := fs.String("flight-dir", "", "arm per-trial flight recorders; dump JSONL traces here on failure")
@@ -423,6 +432,8 @@ func runSweep(args []string) error {
 		grid = exp.ChurnGrid(*seed, *seeds)
 	case "convergence":
 		grid = exp.ConvergenceGrid(*seed, *seeds)
+	case "spray":
+		grid = exp.SprayGrid(seedList...)
 	case "queue-factor":
 		grid = exp.QueueFactorGrid(*seed, []float64{0.05, 0.2, 0.5, 1.5, 3.0})
 	case "path-subset":
@@ -431,6 +442,9 @@ func runSweep(args []string) error {
 		grid = exp.LossRecoveryGrid(*seed)
 	default:
 		return fmt.Errorf("unknown grid %q", *gridName)
+	}
+	for i := range grid {
+		grid[i].Shards = *shards
 	}
 
 	if _, err := pf.start(); err != nil {

@@ -24,6 +24,7 @@ type Options struct {
 	Flows                        int          // cross-rack ring flows (default one per host)
 	MessageBytes                 int64        // per-flow transfer (default 2 MB)
 	Horizon                      sim.Duration // wall guard (default 2 s virtual)
+	Shards                       int          // drive via the shard coordinator (see workload.ClusterConfig.Shards)
 	// LB selects the spray arm; the zero value means "harness default"
 	// (Themis) unless LBSet marks an explicit choice — workload.ECMP is the
 	// LBMode zero value, so a flag is needed to ask for it.
@@ -107,6 +108,7 @@ func BuildCluster(sc Scenario, opt Options) (*workload.Cluster, error) {
 	}, 4*opt.Flows)
 	return workload.BuildCluster(workload.ClusterConfig{
 		Seed:               sc.Seed,
+		Shards:             opt.Shards,
 		Leaves:             opt.Leaves,
 		Spines:             opt.Spines,
 		HostsPerLeaf:       opt.HostsPerLeaf,

@@ -64,6 +64,46 @@ func TestRunnerParallelDeterminism(t *testing.T) {
 	}
 }
 
+// The shard-determinism guarantee, enforced the same way as worker-count
+// determinism above: the serialized report is byte-identical for every shard
+// count. Legacy workloads prove the coordinator is inert (any Shards > 0
+// drives the classic engine through a single-shard group); the spray cells
+// genuinely repartition the fat tree across engines, so they prove the
+// mailbox drain order, per-channel priorities and partition-invariant RNG
+// streams reproduce the single-shard schedule exactly.
+func TestShardCountDeterminism(t *testing.T) {
+	grid := testGrid()
+	grid = append(grid, SprayGrid(8)...)
+	withShards := func(n int) []Scenario {
+		out := make([]Scenario, len(grid))
+		for i, sc := range grid {
+			sc.Shards = n
+			out[i] = sc
+		}
+		return out
+	}
+	base := NewReport("shard-determinism", Runner{Parallel: 4}.Run(withShards(0)))
+	want, err := base.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range base.Trials {
+		if tr.Err != "" {
+			t.Fatalf("trial %d (%s) failed: %s", i, tr.Name, tr.Err)
+		}
+	}
+	for _, shards := range []int{1, 2, 4} {
+		rep := NewReport("shard-determinism", Runner{Parallel: 4}.Run(withShards(shards)))
+		got, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("shards=%d report differs from shards=0:\n--- base ---\n%s\n--- got ---\n%s", shards, want, got)
+		}
+	}
+}
+
 func TestRunnerPreservesOrderAndReportsErrors(t *testing.T) {
 	grid := []Scenario{
 		{Name: "bad", Workload: Workload("nope"), Seed: 1},

@@ -300,3 +300,25 @@ func SmokeGrid(seeds ...int64) []Scenario {
 	}
 	return grid
 }
+
+// SprayGrid returns the space-parallel workload cells: a fat-tree permutation
+// under ECMP and random packet spraying for each seed. The cells are small
+// (k=4, 64 KB messages) because the grid exists for the shard-determinism
+// regression and CLI smoke runs, not for scale — BenchmarkShardScaling covers
+// the large configuration.
+func SprayGrid(seeds ...int64) []Scenario {
+	var grid []Scenario
+	for _, seed := range seeds {
+		for _, lb := range []workload.LBMode{workload.ECMP, workload.RandomSpray} {
+			grid = append(grid, Scenario{
+				Name:         fmt.Sprintf("spray/%v/seed%d", lb, seed),
+				Workload:     Spray,
+				Seed:         seed,
+				LB:           lb,
+				FatTreeK:     4,
+				MessageBytes: 64 << 10,
+			})
+		}
+	}
+	return grid
+}

@@ -48,6 +48,10 @@ const (
 	// honestly stale FIBs. Invariants (including FIB convergence and zero
 	// steady-state loop drops) are checked.
 	Convergence Workload = "convergence"
+	// Spray is the space-parallel fat-tree permutation (workload.RunSpray):
+	// the only workload whose trial genuinely runs on multiple shards. Uses
+	// FatTreeK instead of the leaf-spine fields.
+	Spray Workload = "spray"
 )
 
 // ThemisKnobs is the serializable subset of core.Config — the middleware
@@ -89,6 +93,13 @@ type Scenario struct {
 	Workload Workload `json:"workload"`
 	Seed     int64    `json:"seed"`
 
+	// Shards is an execution knob, not an experiment arm: it selects how many
+	// space-parallel engine shards drive the trial (0 = classic single
+	// engine). Results are byte-identical for every value — the shard
+	// determinism regression enforces it — so like Runner.Parallel it is
+	// excluded from the serialized scenario and the BENCH artifacts.
+	Shards int `json:"-"`
+
 	// Experiment arms.
 	LB        workload.LBMode    `json:"lb,omitempty"`
 	Transport rnic.Transport     `json:"transport,omitempty"`
@@ -101,6 +112,7 @@ type Scenario struct {
 	Leaves       int          `json:"leaves,omitempty"`
 	Spines       int          `json:"spines,omitempty"`
 	HostsPerLeaf int          `json:"hosts_per_leaf,omitempty"`
+	FatTreeK     int          `json:"fat_tree_k,omitempty"` // spray only
 	Bandwidth    int64        `json:"bandwidth,omitempty"`
 	LinkDelay    sim.Duration `json:"link_delay,omitempty"`
 
@@ -159,6 +171,8 @@ func (s Scenario) Label() string {
 	case Convergence:
 		return fmt.Sprintf("convergence/%v/d%dus/seed%d",
 			s.LB, int64(s.ConvergenceDelay/sim.Microsecond), s.Seed)
+	case Spray:
+		return fmt.Sprintf("spray/%v/seed%d", s.LB, s.Seed)
 	default:
 		return fmt.Sprintf("%s/seed%d", s.Workload, s.Seed)
 	}
@@ -168,6 +182,7 @@ func (s Scenario) Label() string {
 func (s Scenario) collectiveConfig() workload.CollectiveConfig {
 	return workload.CollectiveConfig{
 		Seed:           s.Seed,
+		Shards:         s.Shards,
 		Pattern:        s.Pattern,
 		MessageBytes:   s.MessageBytes,
 		Leaves:         s.Leaves,
@@ -199,6 +214,7 @@ func (s Scenario) collectiveConfig() workload.CollectiveConfig {
 func (s Scenario) motivationConfig() workload.MotivationConfig {
 	return workload.MotivationConfig{
 		Seed:         s.Seed,
+		Shards:       s.Shards,
 		MessageBytes: s.MessageBytes,
 		Transport:    s.Transport,
 		LB:           s.LB,
@@ -218,6 +234,7 @@ func (s Scenario) motivationConfig() workload.MotivationConfig {
 func (s Scenario) incastConfig() workload.IncastConfig {
 	return workload.IncastConfig{
 		Seed:         s.Seed,
+		Shards:       s.Shards,
 		Senders:      s.Senders,
 		MessageBytes: s.MessageBytes,
 		Bandwidth:    s.Bandwidth,
@@ -235,6 +252,7 @@ func (s Scenario) incastConfig() workload.IncastConfig {
 func (s Scenario) churnConfig() workload.ChurnConfig {
 	return workload.ChurnConfig{
 		Seed:         s.Seed,
+		Shards:       s.Shards,
 		Leaves:       s.Leaves,
 		Spines:       s.Spines,
 		HostsPerLeaf: s.HostsPerLeaf,
@@ -259,8 +277,25 @@ func (s Scenario) churnConfig() workload.ChurnConfig {
 	}
 }
 
+func (s Scenario) sprayConfig() workload.SprayConfig {
+	return workload.SprayConfig{
+		Seed:         s.Seed,
+		Shards:       s.Shards,
+		FatTreeK:     s.FatTreeK,
+		Bandwidth:    s.Bandwidth,
+		LinkDelay:    s.LinkDelay,
+		BufferBytes:  s.BufferBytes,
+		MessageBytes: s.MessageBytes,
+		BurstBytes:   s.BurstBytes,
+		LB:           s.LB,
+		DisablePFC:   s.DisablePFC,
+		Horizon:      s.Horizon,
+	}
+}
+
 func (s Scenario) chaosOptions() chaos.Options {
 	return chaos.Options{
+		Shards:       s.Shards,
 		Leaves:       s.Leaves,
 		Spines:       s.Spines,
 		HostsPerLeaf: s.HostsPerLeaf,
@@ -276,6 +311,7 @@ func (s Scenario) chaosOptions() chaos.Options {
 // silently replaced with the harness default.
 func (s Scenario) convergenceOptions() chaos.Options {
 	return chaos.Options{
+		Shards:       s.Shards,
 		Leaves:       s.Leaves,
 		Spines:       s.Spines,
 		HostsPerLeaf: s.HostsPerLeaf,

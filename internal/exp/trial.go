@@ -249,6 +249,31 @@ func run(sc Scenario, tr *trace.Tracer, reg *obs.Registry) Trial {
 		t.Net = res.Net
 		t.Engine = res.Engine
 		t.Violations = res.Violations
+	case Spray:
+		if tr != nil || reg != nil {
+			t.Err = "exp: spray does not support tracing or metrics (global observability state cannot span shards; see fabric.NewShardedNetwork)"
+			return t
+		}
+		res, err := workload.RunSpray(sc.sprayConfig())
+		if err != nil {
+			t.Err = err.Error()
+			return t
+		}
+		t.CCTMillis = res.CCT.Seconds() * 1e3
+		t.Sender = rnic.SenderStats{
+			Retransmits: res.Sender.Retransmits,
+			Timeouts:    res.Sender.Timeouts,
+			NacksRx:     res.Sender.NacksRx,
+		}
+		t.Net = res.Net
+		// Only the partition-invariant engine counters go into the artifact:
+		// the allocator fields (allocs, reuses, heap depth) depend on how the
+		// event set is cut across shards, and Trial bytes must not vary with
+		// the Shards execution knob.
+		t.Engine = sim.Metrics{
+			EventsExecuted:  res.Engine.EventsExecuted,
+			EventsCancelled: res.Engine.EventsCancelled,
+		}
 	default:
 		t.Err = fmt.Sprintf("exp: unknown workload %q", sc.Workload)
 	}

@@ -156,11 +156,18 @@ type Network struct {
 
 	counters Counters
 	seqNo    uint64
+
+	// sh is the space-parallel shard wiring; nil for the classic
+	// single-engine dataplane (see NewShardedNetwork in shard.go).
+	sh *shardState
 }
 
-// NewNetwork builds the dataplane for a topology. Hosts start detached;
-// packets to a detached host are delivered to a no-op sink.
-func NewNetwork(engine *sim.Engine, t *topo.Topology, cfg Config) *Network {
+// newNetwork builds the engine-independent parts of the dataplane: switch
+// instances, egress queues and host uplink serializers. Callers wire the
+// engine(s), counter blocks and pools afterwards — NewNetwork points every
+// component at the one shared engine, NewShardedNetwork deals them out per
+// shard.
+func newNetwork(t *topo.Topology, cfg Config) *Network {
 	if cfg.NewDataSelector == nil {
 		cfg.NewDataSelector = func() lb.Selector { return lb.ECMP{} }
 	}
@@ -168,21 +175,15 @@ func NewNetwork(engine *sim.Engine, t *topo.Topology, cfg Config) *Network {
 		cfg.NewCtrlSelector = func() lb.Selector { return lb.ECMP{} }
 	}
 	n := &Network{
-		engine:   engine,
 		topology: t,
 		cfg:      cfg,
 		hostRecv: make([]func(*packet.Packet), t.NumHosts()),
 		hostUp:   make([]*outQueue, t.NumHosts()),
+		dstValid: make([]bool, t.NumSwitches()),
 	}
 	n.switches = make([]*swInst, t.NumSwitches())
 	for _, sw := range t.Switches() {
 		n.switches[sw.ID] = newSwInst(n, sw)
-	}
-	if cfg.Routing.Mode == route.Distributed {
-		n.plane = route.NewPlane(engine, t, cfg.Routing)
-	} else {
-		n.dstValid = make([]bool, t.NumSwitches())
-		n.dstRoutes = make([][][]int, t.NumSwitches())
 	}
 	for h := 0; h < t.NumHosts(); h++ {
 		a := t.HostAttach(packet.NodeID(h))
@@ -199,7 +200,39 @@ func NewNetwork(engine *sim.Engine, t *topo.Topology, cfg Config) *Network {
 		}
 		n.hostUp[h].bind()
 	}
-	n.registerMetrics(cfg.Metrics)
+	return n
+}
+
+// NewNetwork builds the dataplane for a topology. Hosts start detached;
+// packets to a detached host are delivered to a no-op sink.
+func NewNetwork(engine *sim.Engine, t *topo.Topology, cfg Config) *Network {
+	n := newNetwork(t, cfg)
+	n.engine = engine
+	if n.cfg.Routing.Mode == route.Distributed {
+		n.plane = route.NewPlane(engine, t, n.cfg.Routing)
+		n.dstValid = nil
+	} else {
+		n.dstRoutes = make([][][]int, t.NumSwitches())
+	}
+	// Every component shares the one engine, counter block, pool and RNG —
+	// the classic dataplane is the degenerate single-shard wiring.
+	for _, s := range n.switches {
+		s.eng = engine
+		s.ctr = &n.counters
+		s.pool = n.cfg.Pool
+		s.rng = engine.Rand()
+		for _, q := range s.ports {
+			q.eng = engine
+			q.ctr = &n.counters
+			q.pool = n.cfg.Pool
+		}
+	}
+	for _, q := range n.hostUp {
+		q.eng = engine
+		q.ctr = &n.counters
+		q.pool = n.cfg.Pool
+	}
+	n.registerMetrics(n.cfg.Metrics)
 	return n
 }
 
@@ -228,8 +261,33 @@ func (n *Network) Engine() *sim.Engine { return n.engine }
 // Topology returns the static topology.
 func (n *Network) Topology() *topo.Topology { return n.topology }
 
-// Counters returns a snapshot of network-wide counters.
-func (n *Network) Counters() Counters { return n.counters }
+// Counters returns a snapshot of network-wide counters. On a sharded
+// network the per-shard blocks are summed in shard-index order.
+func (n *Network) Counters() Counters {
+	if n.sh == nil {
+		return n.counters
+	}
+	var c Counters
+	for i := range n.sh.counters {
+		c.add(&n.sh.counters[i])
+	}
+	return c
+}
+
+// add folds another counter block into c (all fields are sums).
+func (c *Counters) add(o *Counters) {
+	c.Delivered += o.Delivered
+	c.DataDrops += o.DataDrops
+	c.CtrlDrops += o.CtrlDrops
+	c.EcnMarks += o.EcnMarks
+	c.Blocked += o.Blocked
+	c.Compensated += o.Compensated
+	c.LinkDrops += o.LinkDrops
+	c.LoopDrops += o.LoopDrops
+	c.SteadyLoopDrops += o.SteadyLoopDrops
+	c.WatchdogFires += o.WatchdogFires
+	c.WatchdogDrops += o.WatchdogDrops
+}
 
 // AttachHost registers the receive callback of host h.
 func (n *Network) AttachHost(h packet.NodeID, recv func(*packet.Packet)) {
@@ -265,14 +323,24 @@ func (n *Network) SetLossFunc(f func(pkt *packet.Packet, sw, port int) bool) {
 // stamped with a global sequence number for tracing, a hop limit (unless a
 // test pre-set a smaller one) and the current routing epoch.
 func (n *Network) Inject(h packet.NodeID, pkt *packet.Packet) {
-	n.seqNo++
-	pkt.SeqNo = n.seqNo
+	up := n.hostUp[h]
+	if n.sh == nil {
+		n.seqNo++
+		pkt.SeqNo = n.seqNo
+	} else {
+		// Per-shard sequence spaces: SeqNo is tracing-only provenance, so
+		// shards numbering independently never changes behaviour, and the
+		// alternative — one shared counter — would be a data race.
+		sh := up.shard
+		n.sh.seq[sh]++
+		pkt.SeqNo = n.sh.seq[sh]
+	}
 	if pkt.TTL == 0 {
 		pkt.TTL = packet.DefaultTTL
 	}
 	pkt.RouteEpoch = n.routeEpoch()
-	n.cfg.Tracer.RecordPacket(n.engine.Now(), trace.HostTx, -1, -1, pkt)
-	n.hostUp[h].enqueue(pkt)
+	n.cfg.Tracer.RecordPacket(up.eng.Now(), trace.HostTx, -1, -1, pkt)
+	up.enqueue(pkt)
 }
 
 // HostUplinkBytes returns the queued bytes on host h's access link,
@@ -304,6 +372,9 @@ func (n *Network) PortTxStats(sw, port int) (pkts, bytes uint64) {
 // endpoint switches react immediately and everyone else learns hop-by-hop.
 // Repeated same-state calls are no-ops.
 func (n *Network) SetLinkState(sw, port int, up bool) {
+	if n.sh != nil {
+		panic("fabric: link state changes are not supported on a sharded network")
+	}
 	s := n.switches[sw]
 	p := &s.sw.Ports[port]
 	if p.IsHostPort() {
@@ -333,6 +404,9 @@ func (n *Network) SetLinkState(sw, port int, up bool) {
 // by the time the operator calls SetLinkState(down), no route uses the link
 // and the drop causes zero churn. Repeated same-state calls are no-ops.
 func (n *Network) SetLinkDrained(sw, port int, drained bool) {
+	if n.sh != nil {
+		panic("fabric: link drains are not supported on a sharded network")
+	}
 	s := n.switches[sw]
 	p := &s.sw.Ports[port]
 	if p.IsHostPort() {
@@ -429,16 +503,20 @@ func (n *Network) RouteConverged() error {
 	return n.plane.CheckConverged()
 }
 
-func (n *Network) deliverToHost(h packet.NodeID, pkt *packet.Packet) {
-	n.counters.Delivered++
-	n.cfg.Tracer.RecordPacket(n.engine.Now(), trace.Deliver, -1, -1, pkt)
+// deliverToHost hands pkt to host h's receive callback. q is the ToR→host
+// egress queue the packet arrived through; its engine, counter block and
+// pool are the ones owned by the host's shard (in classic mode they alias
+// the network-wide singletons).
+func (n *Network) deliverToHost(h packet.NodeID, pkt *packet.Packet, q *outQueue) {
+	q.ctr.Delivered++
+	n.cfg.Tracer.RecordPacket(q.eng.Now(), trace.Deliver, -1, -1, pkt)
 	if recv := n.hostRecv[h]; recv != nil {
 		recv(pkt)
 	}
 	// The packet's life ends here; the receive path must not retain it.
 	// Recycling after recv returns means packets the handler injects in
 	// response (ACKs, NACKs) never alias the one being delivered.
-	n.cfg.Pool.Put(pkt)
+	q.pool.Put(pkt)
 }
 
 // Pool returns the packet pool packets are recycled through (nil when

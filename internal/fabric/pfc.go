@@ -107,6 +107,22 @@ func (s *swInst) sendPauseFrame(inPort int, pause bool) {
 	if pause {
 		fn = target.pauseFn
 	}
+	if s.net.sh != nil {
+		// Sharded dataplane: pause frames carry the target queue's pause
+		// channel priority so same-time arrival order at the target engine
+		// is partition-invariant, and they cross shard boundaries through
+		// the epoch mailbox. Their one-link propagation delay is >= the
+		// group lookahead by construction, which is what makes the post
+		// legal (see topo.Lookahead).
+		at := s.eng.Now().Add(p.Delay)
+		pri := target.chanID*2 + 1
+		if target.shard != s.shard {
+			s.net.sh.group.Post(s.shard, target.shard, at, pri, fn)
+		} else {
+			s.eng.AtPri(at, pri, fn)
+		}
+		return
+	}
 	s.net.engine.Schedule(sim.Duration(p.Delay), fn)
 }
 

@@ -24,6 +24,22 @@ type outQueue struct {
 	name       string
 	deliver    func(*packet.Packet)
 
+	// eng/ctr/pool are the engine, counter block and packet pool this queue
+	// charges. On the classic dataplane they alias the network singletons;
+	// on a sharded network they are the owning shard's (see shard.go).
+	eng  *sim.Engine
+	ctr  *Counters
+	pool *packet.Pool
+
+	// Sharded-mode fields. shard is the owning shard index; chanID the
+	// queue's stable 1-based channel identity (pri = chanID*2 for packet
+	// deliveries, chanID*2+1 for PFC pause frames addressed to this queue);
+	// post, when non-nil, replaces the direct propagation-delay schedule in
+	// txDone with a pri-stamped schedule or a cross-shard mailbox post.
+	shard  int
+	chanID uint64
+	post   func(*packet.Packet)
+
 	// txDoneFn/deliverFn are the deliver/txDone callbacks pre-bound once at
 	// construction (see bind). The serializer schedules them with
 	// Engine.ScheduleArg, passing the packet as the argument, so steady-state
@@ -125,7 +141,7 @@ func (q *outQueue) maybeStart() {
 	// into the switch and routed normally.
 	if q.sw != nil && pkt.Kind == packet.Data && q.sw.pipeline != nil && q.isHostPort {
 		for _, extra := range q.sw.pipeline.OnDeliverToHost(pkt) {
-			q.net.counters.Compensated++
+			q.ctr.Compensated++
 			if extra.TTL == 0 {
 				extra.TTL = packet.DefaultTTL
 			}
@@ -134,7 +150,7 @@ func (q *outQueue) maybeStart() {
 		}
 	}
 	ser := sim.TransmitTime(pkt.Size(), q.bw)
-	q.net.engine.ScheduleArg(ser, q.txDoneFn, pkt)
+	q.eng.ScheduleArg(ser, q.txDoneFn, pkt)
 }
 
 // txDone fires when the last bit of pkt leaves the port: buffer space is
@@ -147,10 +163,17 @@ func (q *outQueue) txDone(pkt *packet.Packet) {
 		q.sw.release(pkt)
 	}
 	if q.sw != nil && !q.sw.portUp[q.port] {
-		q.net.counters.LinkDrops++
-		q.net.cfg.Pool.Put(pkt)
+		q.ctr.LinkDrops++
+		q.pool.Put(pkt)
 	} else if q.delay > 0 {
-		q.net.engine.ScheduleArg(q.delay, q.deliverFn, pkt)
+		if q.post != nil {
+			// Sharded switch-to-switch link: pri-stamped schedule on the
+			// peer's engine, via the epoch mailbox when the peer lives on
+			// another shard (see shard.go).
+			q.post(pkt)
+		} else {
+			q.eng.ScheduleArg(q.delay, q.deliverFn, pkt)
+		}
 	} else {
 		q.deliver(pkt)
 	}
@@ -166,7 +189,7 @@ func (q *outQueue) setPaused(pause bool) {
 	}
 	q.paused = pause
 	if pause {
-		q.pausedSince = q.net.engine.Now()
+		q.pausedSince = q.eng.Now()
 		if q.head < len(q.q) {
 			q.armWatchdog()
 		}
@@ -186,7 +209,7 @@ func (q *outQueue) armWatchdog() {
 		return
 	}
 	q.wdArmed = true
-	q.net.engine.Schedule(wd, q.wdFn)
+	q.eng.Schedule(wd, q.wdFn)
 }
 
 // watchdogCheck declares the queue deadlocked if it has been continuously
@@ -202,23 +225,23 @@ func (q *outQueue) watchdogCheck() {
 		return
 	}
 	wd := q.net.cfg.PFC.WatchdogTimeout
-	if elapsed := q.net.engine.Now().Sub(q.pausedSince); elapsed < wd {
+	if elapsed := q.eng.Now().Sub(q.pausedSince); elapsed < wd {
 		// The pause toggled since this check was armed; watch the remainder
 		// of the current episode.
 		q.wdArmed = true
-		q.net.engine.Schedule(wd-elapsed, q.wdFn)
+		q.eng.Schedule(wd-elapsed, q.wdFn)
 		return
 	}
-	q.net.counters.WatchdogFires++
+	q.ctr.WatchdogFires++
 	for q.head < len(q.q) {
 		pkt := q.q[q.head]
 		q.q[q.head] = nil
 		q.head++
 		q.bytes -= pkt.Size()
 		q.sw.release(pkt)
-		q.net.counters.WatchdogDrops++
-		q.net.cfg.Tracer.RecordPacket(q.net.engine.Now(), trace.Drop, q.sw.sw.ID, q.port, pkt)
-		q.net.cfg.Pool.Put(pkt)
+		q.ctr.WatchdogDrops++
+		q.net.cfg.Tracer.RecordPacket(q.eng.Now(), trace.Drop, q.sw.sw.ID, q.port, pkt)
+		q.pool.Put(pkt)
 	}
 	q.q = q.q[:0]
 	q.head = 0

@@ -1,0 +1,141 @@
+package fabric
+
+import (
+	"fmt"
+
+	"themis/internal/packet"
+	"themis/internal/route"
+	"themis/internal/sim"
+	"themis/internal/topo"
+)
+
+// This file wires the dataplane onto a sim.ShardGroup: every switch and host
+// uplink is owned by exactly one shard (engine, counter block, packet pool),
+// switch-to-switch link egress crossing a shard boundary goes through the
+// group's epoch mailboxes instead of a direct Schedule call, and every
+// cross-component delivery carries a stable per-channel priority so that
+// same-time event order at any component is invariant under repartitioning.
+//
+// Global mutable state that cannot be partitioned is rejected up front:
+// tracers, metrics registries, loss-injection hooks, the distributed routing
+// plane and runtime link state changes all couple shards through shared
+// memory or global recomputation, so NewShardedNetwork refuses them. The
+// classic NewNetwork dataplane keeps all of those features.
+
+// streamKeySwitch is the sim.StreamSeed key namespace for per-switch RNG
+// streams (ECN marking, randomized selectors). Keyed by the global switch ID
+// — a partition-invariant identity — so the draws a switch observes are the
+// same for every shard count.
+func streamKeySwitch(swID int) uint64 { return 0xFA<<56 | uint64(swID) }
+
+// shardState is the sharded-mode wiring of a Network.
+type shardState struct {
+	group *sim.ShardGroup
+	part  topo.Partition
+	// counters/pools/seq are the per-shard blocks components charge during
+	// an epoch; Counters() sums them in shard-index order.
+	counters []Counters
+	pools    []*packet.Pool
+	seq      []uint64
+}
+
+// NewShardedNetwork builds a dataplane partitioned across the engines of a
+// sim.ShardGroup. seed is the trial seed per-switch RNG streams derive from
+// (sim.StreamSeed). The partition must be rack-granular (every host in its
+// ToR's shard, see topo.PartitionRacks) and the group's lookahead must be a
+// lower bound on cross-shard link delays (topo.Lookahead).
+func NewShardedNetwork(group *sim.ShardGroup, t *topo.Topology, part topo.Partition, seed int64, cfg Config) (*Network, error) {
+	if part.Shards != group.Shards() {
+		return nil, fmt.Errorf("fabric: partition has %d shards, group has %d", part.Shards, group.Shards())
+	}
+	if len(part.SwitchShard) != t.NumSwitches() || len(part.HostShard) != t.NumHosts() {
+		return nil, fmt.Errorf("fabric: partition shape does not match topology")
+	}
+	switch {
+	case cfg.Tracer != nil:
+		return nil, fmt.Errorf("fabric: tracing is not supported on a sharded network (the trace ring is global mutable state)")
+	case cfg.Metrics != nil:
+		return nil, fmt.Errorf("fabric: a metrics registry is not supported on a sharded network (gauges read cross-shard state)")
+	case cfg.LossFunc != nil:
+		return nil, fmt.Errorf("fabric: LossFunc is not supported on a sharded network (a shared hook couples shards)")
+	case cfg.Routing.Mode == route.Distributed:
+		return nil, fmt.Errorf("fabric: distributed routing is not supported on a sharded network (the plane is a global subsystem)")
+	case cfg.Pool != nil:
+		return nil, fmt.Errorf("fabric: Config.Pool must be nil on a sharded network; pools are per shard (ShardPool)")
+	}
+	for h := 0; h < t.NumHosts(); h++ {
+		if part.HostShard[h] != part.SwitchShard[t.ToROf(packet.NodeID(h))] {
+			return nil, fmt.Errorf("fabric: host %d is not in its ToR's shard; the partition must be rack-granular", h)
+		}
+	}
+
+	n := newNetwork(t, cfg)
+	sh := &shardState{
+		group:    group,
+		part:     part,
+		counters: make([]Counters, part.Shards),
+		pools:    make([]*packet.Pool, part.Shards),
+		seq:      make([]uint64, part.Shards),
+	}
+	for i := range sh.pools {
+		sh.pools[i] = packet.NewPool()
+	}
+	n.sh = sh
+
+	// Deal every switch and queue to its shard and assign channel
+	// identities. chanID enumeration order (switch ID, then port; hosts
+	// after all switches) is a pure function of the topology, never of the
+	// partition — the invariance of delivery priorities depends on that.
+	chanID := uint64(1)
+	for _, s := range n.switches {
+		shard := part.SwitchShard[s.sw.ID]
+		s.shard = shard
+		s.eng = group.Shard(shard)
+		s.ctr = &sh.counters[shard]
+		s.pool = sh.pools[shard]
+		s.rng = sim.NewStream(seed, streamKeySwitch(s.sw.ID))
+		for pi, q := range s.ports {
+			q.shard = shard
+			q.eng = s.eng
+			q.ctr = s.ctr
+			q.pool = s.pool
+			q.chanID = chanID
+			chanID++
+			p := &s.sw.Ports[pi]
+			if p.IsHostPort() {
+				continue // ToR→host delivery stays a plain same-shard schedule
+			}
+			peerShard := part.SwitchShard[p.PeerSwitch]
+			pri := q.chanID * 2
+			src := q
+			if peerShard == shard {
+				src.post = func(pkt *packet.Packet) {
+					src.eng.AtArgPri(src.eng.Now().Add(src.delay), pri, src.deliverFn, pkt)
+				}
+			} else {
+				dst := peerShard
+				src.post = func(pkt *packet.Packet) {
+					sh.group.PostArg(shard, dst, src.eng.Now().Add(src.delay), pri, src.deliverFn, pkt)
+				}
+			}
+		}
+	}
+	for h, q := range n.hostUp {
+		shard := part.HostShard[h]
+		q.shard = shard
+		q.eng = group.Shard(shard)
+		q.ctr = &sh.counters[shard]
+		q.pool = sh.pools[shard]
+		q.chanID = chanID
+		chanID++
+	}
+	return n, nil
+}
+
+// Sharded reports whether this network runs on a shard group.
+func (n *Network) Sharded() bool { return n.sh != nil }
+
+// ShardPool returns shard i's packet pool. Components that inject packets
+// (NICs, traffic sources) must allocate from the pool of the shard that owns
+// them, so that Get/Put stay shard-local.
+func (n *Network) ShardPool(i int) *packet.Pool { return n.sh.pools[i] }

@@ -1,0 +1,147 @@
+package fabric
+
+import (
+	"testing"
+
+	"themis/internal/lb"
+	"themis/internal/packet"
+	"themis/internal/sim"
+	"themis/internal/topo"
+	"themis/internal/trace"
+)
+
+// shardRec is one delivery observation: arrival time and packet identity,
+// copied out of the packet before the fabric recycles it.
+type shardRec struct {
+	at  sim.Time
+	src packet.NodeID
+	psn packet.PSN
+}
+
+// runShardedFabric drives the same cross-rack traffic pattern over a
+// leaf-spine partitioned into the given number of shards and returns what
+// every host observed plus the fabric counters.
+func runShardedFabric(t *testing.T, shards int) ([][]shardRec, Counters, sim.Time) {
+	t.Helper()
+	tp := leafSpine(t, 4, 2, 2)
+	part, err := topo.PartitionRacks(tp, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := topo.Lookahead(tp, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*sim.Engine, shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine(sim.StreamSeed(42, uint64(i)))
+	}
+	g := sim.NewShardGroup(engines, la)
+	n, err := NewShardedNetwork(g, tp, part, 42, Config{
+		ControlLossless: true,
+		NewDataSelector: func() lb.Selector { return lb.RandomSpray{} },
+		ECN:             DefaultECN(gbps100),
+		PFC:             DefaultPFC(gbps100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([][]shardRec, tp.NumHosts())
+	for h := 0; h < tp.NumHosts(); h++ {
+		h := h
+		eng := g.Shard(part.HostShard[h])
+		n.AttachHost(packet.NodeID(h), func(p *packet.Packet) {
+			recs[h] = append(recs[h], shardRec{at: eng.Now(), src: p.Src, psn: p.PSN})
+		})
+	}
+	// Every host blasts a burst at the host two positions over (always the
+	// next rack: 2 hosts per leaf), so all traffic crosses spines and the
+	// RandomSpray per-switch RNG streams are exercised.
+	hosts := tp.NumHosts()
+	for i := 0; i < 25; i++ {
+		for h := 0; h < hosts; h++ {
+			src, dst := packet.NodeID(h), packet.NodeID((h+2)%hosts)
+			n.Inject(src, &packet.Packet{Kind: packet.Data, Src: src, Dst: dst, QP: 1, SPort: uint16(1000 + h), DPort: 4791, PSN: packet.PSN(i), Payload: 1000})
+		}
+	}
+	end := g.RunAll()
+	return recs, n.Counters(), end
+}
+
+// The sharded-fabric determinism contract: every host observes the exact same
+// delivery sequence — times, sources, PSNs — no matter how many shards the
+// topology is cut into, and the summed counters agree too.
+func TestShardedNetworkShardCountInvariance(t *testing.T) {
+	ref, refCtr, refEnd := runShardedFabric(t, 1)
+	for _, shards := range []int{2, 4} {
+		got, ctr, end := runShardedFabric(t, shards)
+		if end != refEnd {
+			t.Fatalf("shards=%d: end %v, want %v", shards, end, refEnd)
+		}
+		if ctr != refCtr {
+			t.Fatalf("shards=%d: counters %+v, want %+v", shards, ctr, refCtr)
+		}
+		for h := range ref {
+			if len(got[h]) != len(ref[h]) {
+				t.Fatalf("shards=%d host %d: %d deliveries, want %d", shards, h, len(got[h]), len(ref[h]))
+			}
+			for i := range ref[h] {
+				if got[h][i] != ref[h][i] {
+					t.Fatalf("shards=%d host %d delivery %d: %+v, want %+v", shards, h, i, got[h][i], ref[h][i])
+				}
+			}
+		}
+	}
+}
+
+// Sharded networks refuse every feature that couples shards through global
+// mutable state, with an explanatory error rather than a race.
+func TestShardedNetworkRejectsGlobalFeatures(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 1)
+	part, err := topo.PartitionRacks(tp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := topo.Lookahead(tp, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(cfg Config) error {
+		g := sim.NewShardGroup([]*sim.Engine{sim.NewEngine(1), sim.NewEngine(2)}, la)
+		_, err := NewShardedNetwork(g, tp, part, 1, cfg)
+		return err
+	}
+	if err := build(Config{Tracer: trace.New(16)}); err == nil {
+		t.Fatal("tracer accepted")
+	}
+	if err := build(Config{Pool: packet.NewPool()}); err == nil {
+		t.Fatal("shared pool accepted")
+	}
+	if err := build(Config{}); err != nil {
+		t.Fatalf("plain config rejected: %v", err)
+	}
+	// Mismatched group size.
+	g1 := sim.NewShardGroup([]*sim.Engine{sim.NewEngine(1)}, la)
+	if _, err := NewShardedNetwork(g1, tp, part, 1, Config{}); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+}
+
+// Runtime link-state changes are a classic-network feature; on a sharded
+// network they must fail loudly instead of racing the oracle recompute.
+func TestShardedNetworkLinkStatePanics(t *testing.T) {
+	tp := leafSpine(t, 2, 2, 1)
+	part, _ := topo.PartitionRacks(tp, 2)
+	la, _ := topo.Lookahead(tp, part)
+	g := sim.NewShardGroup([]*sim.Engine{sim.NewEngine(1), sim.NewEngine(2)}, la)
+	n, err := NewShardedNetwork(g, tp, part, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLinkState on a sharded network did not panic")
+		}
+	}()
+	n.SetLinkState(0, 2, false)
+}

@@ -25,6 +25,18 @@ type swInst struct {
 	pipeline    TorPipeline
 	seed        uint32 // cached lb.TierSeed(sw.Tier), hot on every ECMP decision
 
+	// eng/ctr/pool are the engine, counter block and pool this switch runs
+	// on; classic networks alias the singletons, sharded networks hand out
+	// the owning shard's (see shard.go). rng is the switch's random source:
+	// the shared engine RNG classically, a private identity-keyed stream
+	// (sim.NewStream) on a sharded network so draws never depend on the
+	// partition. shard is the owning shard index.
+	eng   *sim.Engine
+	ctr   *Counters
+	pool  *packet.Pool
+	rng   *rand.Rand
+	shard int
+
 	dataDrops uint64
 	ecnMarks  uint64
 
@@ -62,7 +74,7 @@ func newSwInst(n *Network, sw *topo.Switch) *swInst {
 		}
 		if p.IsHostPort() {
 			host := p.Host
-			q.deliver = func(pkt *packet.Packet) { n.deliverToHost(host, pkt) }
+			q.deliver = func(pkt *packet.Packet) { n.deliverToHost(host, pkt, q) }
 		} else {
 			peer := p.PeerSwitch
 			peerPort := p.PeerPort
@@ -75,9 +87,9 @@ func newSwInst(n *Network, sw *topo.Switch) *swInst {
 }
 
 // lb.Context implementation.
-func (s *swInst) Now() sim.Time           { return s.net.engine.Now() }
+func (s *swInst) Now() sim.Time           { return s.eng.Now() }
 func (s *swInst) QueueBytes(port int) int { return s.ports[port].bytes }
-func (s *swInst) Rand() *rand.Rand        { return s.net.engine.Rand() }
+func (s *swInst) Rand() *rand.Rand        { return s.rng }
 func (s *swInst) Seed() uint32            { return s.seed }
 
 // receive handles a packet arriving on inPort (or injected by the pipeline
@@ -108,14 +120,14 @@ func (s *swInst) receive(pkt *packet.Packet, inPort int) {
 	if len(cands) == 0 {
 		// No surviving path (partitioned fabric).
 		s.drop(pkt)
-		s.net.counters.LinkDrops++
+		s.ctr.LinkDrops++
 		return
 	}
 	if s.anyDown {
 		cands = s.filterUp(cands)
 		if len(cands) == 0 {
 			s.drop(pkt)
-			s.net.counters.LinkDrops++
+			s.ctr.LinkDrops++
 			return
 		}
 	}
@@ -124,7 +136,7 @@ func (s *swInst) receive(pkt *packet.Packet, inPort int) {
 	if s.pipeline != nil && fromHost {
 		if pkt.Kind.IsControl() {
 			if !s.pipeline.FilterHostControl(pkt) {
-				s.net.counters.Blocked++
+				s.ctr.Blocked++
 				s.free(pkt)
 				return
 			}
@@ -164,8 +176,8 @@ func (s *swInst) enqueue(pkt *packet.Packet, port, inPort int) {
 	// subjects ACK/NACK/CNP to loss for robustness tests).
 	if s.net.cfg.LossFunc != nil && !lossless && s.net.cfg.LossFunc(pkt, s.sw.ID, port) {
 		if isCtrl {
-			s.net.counters.CtrlDrops++
-			s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.Drop, s.sw.ID, port, pkt)
+			s.ctr.CtrlDrops++
+			s.net.cfg.Tracer.RecordPacket(s.eng.Now(), trace.Drop, s.sw.ID, port, pkt)
 			s.free(pkt)
 		} else {
 			s.drop(pkt)
@@ -176,7 +188,7 @@ func (s *swInst) enqueue(pkt *packet.Packet, port, inPort int) {
 		limit := s.net.cfg.BufferBytes
 		if limit > 0 && s.bufUsed+pkt.Size() > limit {
 			if isCtrl {
-				s.net.counters.CtrlDrops++
+				s.ctr.CtrlDrops++
 				s.free(pkt)
 			} else {
 				s.drop(pkt)
@@ -189,13 +201,13 @@ func (s *swInst) enqueue(pkt *packet.Packet, port, inPort int) {
 	if !isCtrl && s.net.cfg.ECN.Enabled && s.shouldMark(q.bytes) {
 		if !pkt.ECN {
 			s.ecnMarks++
-			s.net.counters.EcnMarks++
-			s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.Mark, s.sw.ID, port, pkt)
+			s.ctr.EcnMarks++
+			s.net.cfg.Tracer.RecordPacket(s.eng.Now(), trace.Mark, s.sw.ID, port, pkt)
 		}
 		pkt.ECN = true
 	}
 	s.accountIngress(pkt, inPort)
-	s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.SwEnq, s.sw.ID, port, pkt)
+	s.net.cfg.Tracer.RecordPacket(s.eng.Now(), trace.SwEnq, s.sw.ID, port, pkt)
 	q.enqueue(pkt)
 }
 
@@ -209,7 +221,7 @@ func (s *swInst) shouldMark(qBytes int) bool {
 		return true
 	default:
 		p := e.PMax * float64(qBytes-e.KminBytes) / float64(e.KmaxBytes-e.KminBytes)
-		return s.net.engine.Rand().Float64() < p
+		return s.rng.Float64() < p
 	}
 }
 
@@ -228,25 +240,25 @@ func (s *swInst) release(pkt *packet.Packet) {
 // it: the plane is quiescent and the packet was injected under the current
 // quiescent epoch.
 func (s *swInst) loopDrop(pkt *packet.Packet) {
-	s.net.counters.LoopDrops++
+	s.ctr.LoopDrops++
 	if s.net.routeQuiescent() && pkt.RouteEpoch == s.net.routeEpoch() {
-		s.net.counters.SteadyLoopDrops++
+		s.ctr.SteadyLoopDrops++
 	}
-	s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.Drop, s.sw.ID, -1, pkt)
+	s.net.cfg.Tracer.RecordPacket(s.eng.Now(), trace.Drop, s.sw.ID, -1, pkt)
 	s.free(pkt)
 }
 
 func (s *swInst) drop(pkt *packet.Packet) {
 	s.dataDrops++
-	s.net.counters.DataDrops++
-	s.net.cfg.Tracer.RecordPacket(s.net.engine.Now(), trace.Drop, s.sw.ID, -1, pkt)
+	s.ctr.DataDrops++
+	s.net.cfg.Tracer.RecordPacket(s.eng.Now(), trace.Drop, s.sw.ID, -1, pkt)
 	s.free(pkt)
 }
 
 func (s *swInst) free(pkt *packet.Packet) {
 	// Safe to recycle: transports never retain references (retransmit
 	// copies are separate packets) and trace events copy fields.
-	s.net.cfg.Pool.Put(pkt)
+	s.pool.Put(pkt)
 }
 
 func (s *swInst) setPortState(port int, up bool) {

@@ -133,6 +133,43 @@ func TestPurityAllowlistMatchesRunner(t *testing.T) {
 	}
 }
 
+// TestPurityAllowlistMatchesShardGroup is the same vacuity guard for the
+// second sanctioned concurrency site, sim.ShardGroup.Run (the space-parallel
+// barrier coordinator). If the symbol is renamed or moved, the allowlist
+// entry goes dead and this test fails before the stale escape comment can
+// mislead anyone.
+func TestPurityAllowlistMatchesShardGroup(t *testing.T) {
+	prog, err := realProg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run *types.Func
+	for _, p := range prog.Pkgs {
+		if p.Path != prog.ModPath+"/internal/sim" {
+			continue
+		}
+		obj := p.Pkg.Scope().Lookup("ShardGroup")
+		if obj == nil {
+			t.Fatal("internal/sim no longer declares ShardGroup")
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			t.Fatalf("sim.ShardGroup is %T, not a named type", obj.Type())
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == "Run" {
+				run = m
+			}
+		}
+	}
+	if run == nil {
+		t.Fatal("sim.ShardGroup.Run not found — the purity allowlist has nothing to allow")
+	}
+	if !purityAllowed(run, prog.ModPath) {
+		t.Errorf("purityAllowed rejects the real %s — the sanctioned barrier coordinator would be flagged", run.FullName())
+	}
+}
+
 // TestSuiteWallBudget keeps the full-suite wall time inside the CI budget:
 // the suite runs on every verify, so a quadratic regression in the loader or
 // the taint solver must fail loudly here rather than slowly rot the edit

@@ -21,17 +21,27 @@ var Purity = &Analyzer{
 	Run:  runPurity,
 }
 
-// purityAllowed returns whether the function may use concurrency primitives:
-// exp.Runner's worker pool is the one deliberate parallel construct — trials
-// never share mutable state, and the output slice is index-addressed so the
-// report stays independent of scheduling.
+// purityAllowed returns whether the function may use concurrency primitives.
+// Exactly two parallel constructs are sanctioned, both allowlisted by exact
+// symbol name:
+//
+//   - exp.Runner.Run — the seed-sweep worker pool: trials never share
+//     mutable state and the output slice is index-addressed, so the report
+//     stays independent of scheduling.
+//   - sim.ShardGroup.Run — the space-parallel shard coordinator: every
+//     goroutine, channel and barrier lives lexically inside this one method
+//     (the analyzer skips whole function declarations, so that lexical
+//     containment is load-bearing), shards own disjoint state during an
+//     epoch, and cross-shard mail drains in a deterministic sorted order.
 func purityAllowed(fn *types.Func, modPath string) bool {
 	if fn == nil {
 		return false
 	}
 	name := fn.FullName()
 	return name == "("+modPath+"/internal/exp.Runner).Run" ||
-		name == "(*"+modPath+"/internal/exp.Runner).Run"
+		name == "(*"+modPath+"/internal/exp.Runner).Run" ||
+		name == "("+modPath+"/internal/sim.ShardGroup).Run" ||
+		name == "(*"+modPath+"/internal/sim.ShardGroup).Run"
 }
 
 func runPurity(pass *Pass) []Diagnostic {

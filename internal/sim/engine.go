@@ -18,8 +18,16 @@ import (
 // Timer and the transport pacer follow by nilling their reference inside the
 // callback.
 type Event struct {
-	time      Time
-	seq       uint64 // tie-breaker: FIFO among same-time events
+	time Time
+	// pri orders same-time events before seq. Classic single-engine code
+	// never sets it (zero), preserving pure FIFO order among same-time
+	// events. The sharded fabric stamps cross-component deliveries with a
+	// stable per-channel priority so that same-time arrival order at a
+	// component is a function of the channel identity, not of which engine
+	// happened to schedule the event — the property that makes event order
+	// invariant under repartitioning (see ShardGroup).
+	pri       uint64
+	seq       uint64 // tie-breaker: FIFO among same-(time, pri) events
 	index     int    // heap index, -1 once popped or cancelled
 	fn        func()
 	fnArg     func(any) // arg-carrying callback (used when fn == nil)
@@ -39,13 +47,16 @@ func (e *Event) Cancelled() bool { return e.cancelled }
 // not mark it cancelled.
 func (e *Event) Fired() bool { return e.fired }
 
-// eventHeap orders events by (time, seq).
+// eventHeap orders events by (time, pri, seq).
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
 	}
 	return h[i].seq < h[j].seq
 }
@@ -84,6 +95,20 @@ type Metrics struct {
 	EventReuses uint64
 	// HeapHighWater is the maximum event-queue depth observed.
 	HeapHighWater int
+}
+
+// Merge folds another engine's counter block into m: the event counters are
+// summed and HeapHighWater takes the maximum. Trial records use it to roll
+// per-shard engines up into one block; note that after a merge HeapHighWater
+// is the deepest *single* queue seen, not the sum of concurrent depths.
+func (m *Metrics) Merge(o Metrics) {
+	m.EventsExecuted += o.EventsExecuted
+	m.EventsCancelled += o.EventsCancelled
+	m.EventAllocs += o.EventAllocs
+	m.EventReuses += o.EventReuses
+	if o.HeapHighWater > m.HeapHighWater {
+		m.HeapHighWater = o.HeapHighWater
+	}
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
@@ -170,6 +195,27 @@ func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
 	return ev
 }
 
+// AtPri schedules fn at absolute time t with a same-time ordering priority
+// (see Event.pri). Only the sharded fabric uses non-zero priorities.
+func (e *Engine) AtPri(t Time, pri uint64, fn func()) *Event {
+	ev := e.newEvent()
+	ev.fn = fn
+	ev.pri = pri
+	e.schedule(t, ev)
+	return ev
+}
+
+// AtArgPri schedules fn(arg) at absolute time t with a same-time ordering
+// priority; the arg-carrying analogue of AtPri.
+func (e *Engine) AtArgPri(t Time, pri uint64, fn func(any), arg any) *Event {
+	ev := e.newEvent()
+	ev.fnArg = fn
+	ev.arg = arg
+	ev.pri = pri
+	e.schedule(t, ev)
+	return ev
+}
+
 func (e *Engine) schedule(t Time, ev *Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -215,33 +261,73 @@ func (e *Engine) Cancel(ev *Event) bool {
 	return true
 }
 
-// Stop makes Run return after the current event completes.
+// Stop halts event execution. Called from inside a callback it makes the
+// surrounding Run/AdvanceTo return after the current event completes; called
+// between runs it is sticky — the next Run returns immediately without
+// executing anything. In both cases the stop is consumed by the Run that
+// observes it, so a subsequent Run (or RunAll drain) proceeds normally.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Stopped reports whether a Stop is pending, i.e. has been requested but not
+// yet consumed by a Run. The shard coordinator polls it at each barrier to
+// turn one shard's Stop into a group-wide halt.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// step pops and executes the head event. Callers have checked the queue is
+// non-empty and the head is within their time bound.
+func (e *Engine) step() {
+	ev := e.queue[0]
+	heap.Pop(&e.queue)
+	e.now = ev.time
+	e.metrics.EventsExecuted++
+	// Mark fired before invoking so a callback cancelling its own handle
+	// is a no-op rather than a double release.
+	ev.fired = true
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.fnArg(ev.arg)
+	}
+	e.release(ev)
+}
+
 // Run executes events in time order until the queue drains, the clock would
-// pass until, or Stop is called. It returns the time of the last executed
-// event (or the current time if nothing ran).
+// pass until, or Stop is called (including a sticky Stop issued before the
+// call — see Stop). It returns the time of the last executed event (or the
+// current time if nothing ran) and clears any observed stop.
 func (e *Engine) Run(until Time) Time {
-	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.time > until {
+	for {
+		if e.stopped {
+			e.stopped = false
 			break
 		}
-		heap.Pop(&e.queue)
-		e.now = ev.time
-		e.metrics.EventsExecuted++
-		// Mark fired before invoking so a callback cancelling its own handle
-		// is a no-op rather than a double release.
-		ev.fired = true
-		if ev.fn != nil {
-			ev.fn()
-		} else {
-			ev.fnArg(ev.arg)
+		if len(e.queue) == 0 || e.queue[0].time > until {
+			break
 		}
-		e.release(ev)
+		e.step()
 	}
 	return e.now
+}
+
+// AdvanceTo is the epoch API for the shard coordinator: it executes events
+// with time <= limit and returns the current time. Unlike Run it does NOT
+// consume a pending Stop — it halts immediately and leaves the flag set so
+// the coordinator can observe the halt at the next barrier and propagate it
+// to the whole group.
+func (e *Engine) AdvanceTo(limit Time) Time {
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].time <= limit {
+		e.step()
+	}
+	return e.now
+}
+
+// nextTime returns the timestamp of the earliest pending event, or Forever
+// when the queue is empty. The coordinator uses it to pick the next epoch.
+func (e *Engine) nextTime() Time {
+	if len(e.queue) == 0 {
+		return Forever
+	}
+	return e.queue[0].time
 }
 
 // RunAll executes events until the queue drains or Stop is called.

@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"fmt"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+// Partition assigns every switch and host of a topology to one of Shards
+// space-parallel engine shards (see sim.ShardGroup). The partition rule is
+// rack-granular: a ToR and all of its hosts always land in the same shard,
+// so host<->ToR traffic (the only zero- or near-zero-latency interaction in
+// the model) never crosses a shard boundary.
+type Partition struct {
+	Shards      int
+	SwitchShard []int // indexed by switch ID
+	HostShard   []int // indexed by host NodeID
+}
+
+// PartitionRacks computes the canonical rack partition: tier-0 switches with
+// attached hosts ("racks") are dealt round-robin to shards in switch-ID
+// order, each host follows its ToR, and the remaining switches (spines,
+// aggregations, cores, host-less edges) are dealt round-robin in switch-ID
+// order as well. shards == 1 yields the degenerate single-shard partition
+// with no cross-shard links.
+func PartitionRacks(t *Topology, shards int) (Partition, error) {
+	if shards < 1 {
+		return Partition{}, fmt.Errorf("topo: partition needs at least 1 shard, got %d", shards)
+	}
+	p := Partition{
+		Shards:      shards,
+		SwitchShard: make([]int, t.NumSwitches()),
+		HostShard:   make([]int, t.NumHosts()),
+	}
+	racks, others := 0, 0
+	for _, sw := range t.Switches() {
+		isRack := sw.Tier == 0 && len(sw.Hosts()) > 0
+		if isRack {
+			p.SwitchShard[sw.ID] = racks % shards
+			racks++
+		} else {
+			p.SwitchShard[sw.ID] = others % shards
+			others++
+		}
+	}
+	if racks < shards {
+		return Partition{}, fmt.Errorf("topo: %d shards but only %d racks — shards must not exceed rack count", shards, racks)
+	}
+	for h := 0; h < t.NumHosts(); h++ {
+		p.HostShard[h] = p.SwitchShard[t.ToROf(packet.NodeID(h))]
+	}
+	return p, nil
+}
+
+// Lookahead returns the conservative synchronization window for a partition:
+// the minimum one-way propagation delay over all cross-shard links. Any
+// event a shard executes at time t can only reach another shard at t+W or
+// later, which is what makes barrier-per-epoch synchronization with window W
+// correct (see sim.ShardGroup). With no cross-shard links it returns
+// sim.Duration(sim.Forever) — one epoch spans the whole run. A cross-shard
+// link with zero propagation delay is an error: it would force zero-width
+// epochs.
+func Lookahead(t *Topology, p Partition) (sim.Duration, error) {
+	w := sim.Duration(sim.Forever)
+	for _, sw := range t.Switches() {
+		for pi := range sw.Ports {
+			port := &sw.Ports[pi]
+			if port.PeerSwitch < 0 {
+				continue // host links are intra-shard by construction
+			}
+			if p.SwitchShard[sw.ID] == p.SwitchShard[port.PeerSwitch] {
+				continue
+			}
+			if port.Delay <= 0 {
+				return 0, fmt.Errorf("topo: cross-shard link %s port %d has zero propagation delay; sharding needs a positive latency floor", sw.Name, pi)
+			}
+			if port.Delay < w {
+				w = port.Delay
+			}
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,132 @@
+package topo
+
+import (
+	"testing"
+
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+func leafSpine(t *testing.T, leaves, spines, hostsPerLeaf int, fabricDelay sim.Duration) *Topology {
+	t.Helper()
+	topo, err := NewLeafSpine(LeafSpineConfig{
+		Leaves:       leaves,
+		Spines:       spines,
+		HostsPerLeaf: hostsPerLeaf,
+		HostLink:     LinkSpec{Bandwidth: 100e9, Delay: sim.Microsecond},
+		FabricLink:   LinkSpec{Bandwidth: 100e9, Delay: fabricDelay},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestPartitionRacksRoundRobin(t *testing.T) {
+	topo := leafSpine(t, 4, 2, 2, sim.Microsecond)
+	p, err := PartitionRacks(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Racks (tier-0 with hosts) deal 0,1,0,1 in switch-ID order; the host-less
+	// spines deal 0,1 independently.
+	rack, other := 0, 0
+	for _, sw := range topo.Switches() {
+		want := other % 2
+		if sw.Tier == 0 && len(sw.Hosts()) > 0 {
+			want = rack % 2
+			rack++
+		} else {
+			other++
+		}
+		if p.SwitchShard[sw.ID] != want {
+			t.Fatalf("switch %s shard = %d, want %d", sw.Name, p.SwitchShard[sw.ID], want)
+		}
+	}
+	// Every host follows its ToR — the rack-granularity invariant the sharded
+	// fabric's host-local scheduling depends on.
+	for h := 0; h < topo.NumHosts(); h++ {
+		if p.HostShard[h] != p.SwitchShard[topo.ToROf(packet.NodeID(h))] {
+			t.Fatalf("host %d shard %d != ToR shard %d", h, p.HostShard[h], p.SwitchShard[topo.ToROf(packet.NodeID(h))])
+		}
+	}
+}
+
+func TestPartitionRacksValidates(t *testing.T) {
+	topo := leafSpine(t, 2, 2, 1, sim.Microsecond)
+	if _, err := PartitionRacks(topo, 0); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if _, err := PartitionRacks(topo, 3); err == nil {
+		t.Fatal("more shards than racks accepted")
+	}
+}
+
+func TestLookaheadMinCrossShardDelay(t *testing.T) {
+	topo := leafSpine(t, 2, 2, 1, 500*sim.Nanosecond)
+	p, err := PartitionRacks(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Lookahead(topo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 500*sim.Nanosecond {
+		t.Fatalf("lookahead = %v, want 500ns", w)
+	}
+}
+
+func TestLookaheadSingleShardIsForever(t *testing.T) {
+	topo := leafSpine(t, 2, 2, 1, sim.Microsecond)
+	p, err := PartitionRacks(topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Lookahead(topo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != sim.Duration(sim.Forever) {
+		t.Fatalf("lookahead = %v, want Forever (no cross-shard links)", w)
+	}
+}
+
+func TestLookaheadRejectsZeroDelayCrossShardLink(t *testing.T) {
+	topo := leafSpine(t, 2, 2, 1, 0)
+	p, err := PartitionRacks(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookahead(topo, p); err == nil {
+		t.Fatal("zero-delay cross-shard link accepted")
+	}
+}
+
+func TestPartitionRacksFatTree(t *testing.T) {
+	topo, err := NewFatTree(FatTreeConfig{
+		K:          4,
+		HostLink:   LinkSpec{Bandwidth: 100e9, Delay: sim.Microsecond},
+		FabricLink: LinkSpec{Bandwidth: 100e9, Delay: sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		p, err := PartitionRacks(topo, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		counts := make([]int, shards)
+		for h := 0; h < topo.NumHosts(); h++ {
+			counts[p.HostShard[h]]++
+		}
+		// K=4 has 8 racks of 2 hosts: the round-robin deal balances hosts
+		// exactly for every divisor shard count.
+		for s, c := range counts {
+			if c != topo.NumHosts()/shards {
+				t.Fatalf("shards=%d: shard %d has %d hosts, want %d", shards, s, c, topo.NumHosts()/shards)
+			}
+		}
+	}
+}

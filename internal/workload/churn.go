@@ -46,6 +46,7 @@ type ChurnConfig struct {
 	BurstBytes   int
 	BufferBytes  int
 	Horizon      sim.Duration // wall guard (default 2 s virtual)
+	Shards       int          // drive via the shard coordinator (see ClusterConfig.Shards)
 	RTO          sim.Duration
 	RTOBackoff   float64
 	RTOMax       sim.Duration
@@ -222,6 +223,7 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	cfg = cfg.withDefaults()
 	cl, err := BuildCluster(ClusterConfig{
 		Seed:               cfg.Seed,
+		Shards:             cfg.Shards,
 		Leaves:             cfg.Leaves,
 		Spines:             cfg.Spines,
 		HostsPerLeaf:       cfg.HostsPerLeaf,

@@ -75,6 +75,17 @@ func (m LBMode) String() string {
 type ClusterConfig struct {
 	Seed int64
 
+	// Shards > 0 drives the trial through the sim.ShardGroup epoch
+	// coordinator instead of calling Engine.Run directly. The legacy
+	// workloads built on Cluster have global drivers (collective round
+	// logic, the churn driver, chaos injectors, shared loss hooks) that
+	// cannot be space-partitioned without changing their timing, so they
+	// always run as a single shard regardless of the requested count — the
+	// knob proves coordinator inertness (byte-identical results for any
+	// value) rather than buying parallelism here. The spray workload
+	// (RunSpray) is the genuinely partitioned path.
+	Shards int
+
 	// Topology: leaf-spine unless FatTreeK > 0.
 	Leaves, Spines, HostsPerLeaf int
 	FatTreeK                     int
@@ -196,6 +207,10 @@ type Cluster struct {
 	// failures repaired in any order only re-enable Themis once the fabric is
 	// whole again.
 	failedLinks map[[2]int]bool
+
+	// group is the shard coordinator Run drives when Config.Shards > 0 (a
+	// single-shard group over Engine; see ClusterConfig.Shards).
+	group *sim.ShardGroup
 }
 
 // BuildCluster assembles a cluster from the configuration.
@@ -260,6 +275,12 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 		nextSport:   1000,
 		conns:       make(map[[2]packet.NodeID]*Conn),
 		failedLinks: make(map[[2]int]bool),
+	}
+	if cfg.Shards > 0 {
+		// One shard holding the whole topology: no cross-shard links, so the
+		// lookahead is infinite and the coordinator runs a single epoch that
+		// executes exactly what Engine.Run would.
+		cl.group = sim.NewShardGroup([]*sim.Engine{engine}, sim.Duration(sim.Forever))
 	}
 
 	ncfg := rnic.Config{
@@ -388,8 +409,13 @@ func (m clusterMesh) Conn(src, dst int) collective.Conn {
 }
 
 // Run drives the simulation until the event queue drains or the horizon is
-// reached, returning the final virtual time.
+// reached, returning the final virtual time. With Config.Shards > 0 the
+// epoch coordinator drives the (single-shard) group instead; the executed
+// event sequence is identical either way.
 func (cl *Cluster) Run(horizon sim.Duration) sim.Time {
+	if cl.group != nil {
+		return cl.group.Run(sim.Time(horizon))
+	}
 	return cl.Engine.Run(sim.Time(horizon))
 }
 

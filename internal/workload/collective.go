@@ -35,6 +35,7 @@ type CollectiveConfig struct {
 	// Mechanics.
 	BurstBytes  int
 	BufferBytes int          // switch shared buffer (default 64 MB)
+	Shards      int          // drive via the shard coordinator (see ClusterConfig.Shards)
 	Horizon     sim.Duration // simulation cap (default 30 s)
 	DisablePFC  bool         // run a lossy fabric (PFC is on by default)
 	// Transport recovery knobs (see rnic.Config).
@@ -139,6 +140,7 @@ func RunCollective(cfg CollectiveConfig) (*CollectiveResult, error) {
 	}
 	cl, err := BuildCluster(ClusterConfig{
 		Seed:               cfg.Seed,
+		Shards:             cfg.Shards,
 		Leaves:             cfg.Leaves,
 		Spines:             cfg.Spines,
 		HostsPerLeaf:       cfg.HostsPerLeaf,

@@ -25,6 +25,7 @@ type IncastConfig struct {
 	LB           LBMode
 	DisablePFC   bool
 	Horizon      sim.Duration
+	Shards       int // drive via the shard coordinator (see ClusterConfig.Shards)
 	// DistributedRouting/ConvergenceDelay select the BGP-style per-switch
 	// control plane (see ClusterConfig).
 	DistributedRouting bool
@@ -75,6 +76,7 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	cfg = cfg.withDefaults()
 	cl, err := BuildCluster(ClusterConfig{
 		Seed:               cfg.Seed,
+		Shards:             cfg.Shards,
 		Leaves:             cfg.Senders + 1,
 		Spines:             cfg.Senders + 1,
 		HostsPerLeaf:       1,

@@ -23,6 +23,7 @@ type MotivationConfig struct {
 	Window       sim.Duration   // meter window for time series (default 100 us)
 	SampleEvery  sim.Duration   // rate sampling period (default 10 us)
 	Horizon      sim.Duration   // simulation cap (default 10 s)
+	Shards       int            // drive via the shard coordinator (see ClusterConfig.Shards)
 	BurstBytes   int            // pacer burst (default 16 KB)
 	// TI/TD are the DCQCN rate-increase timer and minimum decrease
 	// interval. The motivation study defaults to the classic DCQCN values
@@ -116,6 +117,7 @@ func RunMotivation(cfg MotivationConfig) (*MotivationResult, error) {
 	}
 	cl, err := BuildCluster(ClusterConfig{
 		Seed:               cfg.Seed,
+		Shards:             cfg.Shards,
 		Leaves:             4,
 		Spines:             4,
 		HostsPerLeaf:       2,
