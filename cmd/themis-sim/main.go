@@ -36,11 +36,14 @@
 //
 //	themis-sim sweep [-grid fig5|fig1|smoke|chaos|churn|convergence|spray|queue-factor|path-subset|loss-recovery]
 //	    [-pattern allreduce|alltoall] [-bytes N] [-seed S] [-seeds N] [-parallel N] [-shards N] [-json out.json]
-//	    [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
+//	    [-sched wheel|heap] [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
 //	    A scenario grid through the parallel runner (default: the full Fig. 5
 //	    matrix, all five DCQCN settings × {ECMP, AR, Themis}). -parallel N
 //	    runs N trials concurrently — per-seed results are bit-identical to a
-//	    sequential run. -json writes the aggregated report artifact.
+//	    sequential run. -json writes the aggregated report artifact. -sched
+//	    selects the engine's event-queue backend: the timing wheel (default)
+//	    or the binary-heap differential oracle — reports are byte-identical
+//	    under both, which bench-smoke re-proves on every run.
 //	    -cpuprofile/-memprofile write pprof profiles of the sweep;
 //	    -pprof-addr serves live net/http/pprof while it runs.
 //
@@ -402,9 +405,18 @@ func runSweep(args []string) error {
 	jsonOut := fs.String("json", "", "write the aggregated report JSON to this path")
 	metrics := fs.Bool("metrics", false, "snapshot a per-trial metrics registry into each record")
 	flightDir := fs.String("flight-dir", "", "arm per-trial flight recorders; dump JSONL traces here on failure")
+	sched := fs.String("sched", "wheel", "event scheduler backend: wheel|heap (the heap is the differential oracle; reports are byte-identical under both)")
 	pf := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *sched {
+	case "wheel":
+		sim.SetDefaultScheduler(sim.SchedulerWheel)
+	case "heap":
+		sim.SetDefaultScheduler(sim.SchedulerHeap)
+	default:
+		return fmt.Errorf("unknown scheduler %q (wheel|heap)", *sched)
 	}
 	seedList := make([]int64, *seeds)
 	for i := range seedList {

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"themis/internal/sim"
+)
+
+// TestGridSchedulerEquivalence is the acceptance gate for the timing-wheel
+// swap at the artifact level: every named grid's aggregated report must be
+// BYTE-identical whether the engines underneath run on the hierarchical
+// wheel or on the binary-heap oracle. The unit-level differential tests
+// (sim/contract_test.go, sim/wheel_test.go, FuzzWheelHeapEquivalence) prove
+// pop-order equivalence for arbitrary op sequences; this one proves the
+// property composes through the full stack — fabric, transport, Themis
+// middleware, metrics serialization — for the exact workloads whose
+// BENCH_<name>.json artifacts CI publishes.
+func TestGridSchedulerEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		grid []Scenario
+	}{
+		{"smoke", SmokeGrid(1, 2)},
+		{"churn", ChurnGrid(1, 1)},
+		{"convergence", ConvergenceGrid(1, 1)},
+		{"spray", SprayGrid(1)},
+	}
+	runUnder := func(s sim.Scheduler, name string, grid []Scenario) []byte {
+		prev := sim.SetDefaultScheduler(s)
+		defer sim.SetDefaultScheduler(prev)
+		out, err := NewReport(name, Runner{Parallel: 2}.Run(grid)).JSON()
+		if err != nil {
+			t.Fatalf("%s under %v: %v", name, s, err)
+		}
+		return out
+	}
+	for _, c := range cases {
+		heap := runUnder(sim.SchedulerHeap, c.name, c.grid)
+		wheel := runUnder(sim.SchedulerWheel, c.name, c.grid)
+		if !bytes.Equal(heap, wheel) {
+			// Locate the first differing line for an actionable failure.
+			hl := bytes.Split(heap, []byte("\n"))
+			wl := bytes.Split(wheel, []byte("\n"))
+			for i := range hl {
+				if i >= len(wl) || !bytes.Equal(hl[i], wl[i]) {
+					t.Fatalf("grid %s: report diverges at line %d:\n heap  %s\n wheel %s",
+						c.name, i+1, hl[i], wl[i])
+				}
+			}
+			t.Fatalf("grid %s: reports differ in length only", c.name)
+		}
+	}
+}

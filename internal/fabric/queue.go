@@ -54,6 +54,19 @@ type outQueue struct {
 	pauseFn  func()
 	resumeFn func()
 
+	// pipe models the link's propagation delay as a FIFO of in-flight
+	// packets. Arrival times are monotone per queue — txDone completions
+	// strictly increase (TransmitTime rounds up to ≥1 ps) and the delay is
+	// fixed — so only the head's arrival ever needs an engine event.
+	// deliverBurst drains every contiguous entry sharing the head's arrival
+	// timestamp in one callback (the DPDK rx-burst idiom) and re-arms for the
+	// next distinct arrival, bounding the scheduler to ONE pending event per
+	// link regardless of how many packets are on the wire. PFC pause frames
+	// bypass the serializer entirely (see pfc.go) and never enter the pipe.
+	pipe    []pipeSlot
+	phead   int
+	burstFn func()
+
 	q     []*packet.Packet // data class FIFO
 	head  int
 	cq    []*packet.Packet // control class FIFO (strict priority)
@@ -74,6 +87,12 @@ type outQueue struct {
 	txBytes   uint64
 }
 
+// pipeSlot is one in-flight packet on a link's propagation pipe.
+type pipeSlot struct {
+	pkt *packet.Packet
+	at  sim.Time
+}
+
 // bind installs the arg-carrying schedule callbacks. Must be called once
 // after the deliver field is set.
 func (q *outQueue) bind() {
@@ -82,6 +101,7 @@ func (q *outQueue) bind() {
 	q.pauseFn = func() { q.setPaused(true) }
 	q.resumeFn = func() { q.setPaused(false) }
 	q.wdFn = q.watchdogCheck
+	q.burstFn = q.deliverBurst
 }
 
 // enqueue appends pkt to its class and starts the serializer if possible.
@@ -172,13 +192,67 @@ func (q *outQueue) txDone(pkt *packet.Packet) {
 			// another shard (see shard.go).
 			q.post(pkt)
 		} else {
-			q.eng.ScheduleArg(q.delay, q.deliverFn, pkt)
+			q.pipePush(pkt)
 		}
 	} else {
 		q.deliver(pkt)
 	}
 	q.busy = false
 	q.maybeStart()
+}
+
+// pipePush commits pkt to the propagation pipe, arriving one link delay from
+// now. Appending preserves arrival order (arrival times strictly increase per
+// queue); the head-arrival engine event is armed only when the pipe was
+// empty — otherwise the pending deliverBurst chains the next arm itself.
+func (q *outQueue) pipePush(pkt *packet.Packet) {
+	at := q.eng.Now().Add(q.delay)
+	if q.phead >= len(q.pipe) {
+		q.pipe = q.pipe[:0]
+		q.phead = 0
+		q.eng.At(at, q.burstFn)
+	}
+	q.pipe = append(q.pipe, pipeSlot{pkt: pkt, at: at}) //lint:alloc-ok pipe growth is amortized; the backing array is retained
+}
+
+// deliverBurst fires at the head arrival time and delivers every contiguous
+// packet sharing that timestamp as one burst. The re-arm for the next
+// distinct arrival happens BEFORE the deliveries: the next arrival must sort
+// ahead of same-timestamp events scheduled by the delivery cascade (the
+// downstream port's txDone in particular), matching the per-event model
+// where every delivery was scheduled at its own transmission completion —
+// ahead of anything the receiving switch schedules on arrival. A link
+// failing mid-flight does not drop pipe residents: txDone gates on portUp at
+// transmission completion, and a packet past that point was already
+// committed to the wire under the per-event model too.
+func (q *outQueue) deliverBurst() {
+	now := q.eng.Now()
+	end := q.phead
+	for end < len(q.pipe) && q.pipe[end].at == now {
+		end++
+	}
+	if end < len(q.pipe) {
+		q.eng.At(q.pipe[end].at, q.burstFn)
+	}
+	for q.phead < end {
+		pkt := q.pipe[q.phead].pkt
+		q.pipe[q.phead] = pipeSlot{}
+		q.phead++
+		q.deliver(pkt)
+	}
+	if q.phead >= len(q.pipe) {
+		q.pipe = q.pipe[:0]
+		q.phead = 0
+		return
+	}
+	if q.phead > 64 && q.phead*2 >= len(q.pipe) {
+		n := copy(q.pipe, q.pipe[q.phead:])
+		for i := n; i < len(q.pipe); i++ {
+			q.pipe[i] = pipeSlot{}
+		}
+		q.pipe = q.pipe[:n]
+		q.phead = 0
+	}
 }
 
 // setPaused gates the data class. Resuming kicks the queue; pausing with a

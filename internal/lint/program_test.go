@@ -94,6 +94,29 @@ func TestHotSetSpansRealPackages(t *testing.T) {
 			t.Errorf("hot set contains no function from %s — a pinned zero-alloc root no longer resolves there", strings.Trim(pkg, "/."))
 		}
 	}
+	// The timing-wheel pop path and the fabric burst drain are pinned by
+	// name: Run/AdvanceTo must drag the wheel internals into the hot set, and
+	// the outQueue roots must resolve against the real receiver. If any of
+	// these vanish the corresponding root has rotted into vacuity.
+	for _, fn := range []string{
+		"/internal/sim.wheel).pop",
+		"/internal/sim.wheel).refill",
+		"/internal/sim.wheel).cascade",
+		"/internal/fabric.outQueue).txDone",
+		"/internal/fabric.outQueue).deliverBurst",
+		"/internal/fabric.outQueue).pipePush",
+	} {
+		found := false
+		for _, h := range hot {
+			if strings.Contains(h, fn) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("hot set lost %s — wheel/burst entry points are no longer pinned", fn)
+		}
+	}
 }
 
 // TestPurityAllowlistMatchesRunner proves the purity allowlist is not

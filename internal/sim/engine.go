@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -26,14 +25,21 @@ type Event struct {
 	// component is a function of the channel identity, not of which engine
 	// happened to schedule the event — the property that makes event order
 	// invariant under repartitioning (see ShardGroup).
-	pri       uint64
-	seq       uint64 // tie-breaker: FIFO among same-(time, pri) events
-	index     int    // heap index, -1 once popped or cancelled
-	fn        func()
-	fnArg     func(any) // arg-carrying callback (used when fn == nil)
-	arg       any
-	cancelled bool
-	fired     bool
+	pri uint64
+	seq uint64 // tie-breaker: FIFO among same-(time, pri) events
+	// index is the event's position in the run/event heap when >= 0, or one
+	// of the idx* sentinels (wheel.go): idxDead once popped or cancelled,
+	// idxWheel/idxOverflow while intrusively linked in the timing wheel.
+	index int
+	// next/prev are the intrusive links of the wheel's slot and overflow
+	// lists; nil while the event is heap-resident or dead.
+	next, prev *Event
+	loc        int32 // packed wheel level/slot while index == idxWheel
+	fn         func()
+	fnArg      func(any) // arg-carrying callback (used when fn == nil)
+	arg        any
+	cancelled  bool
+	fired      bool
 }
 
 // Time returns the virtual time at which the event fires.
@@ -47,42 +53,50 @@ func (e *Event) Cancelled() bool { return e.cancelled }
 // not mark it cancelled.
 func (e *Event) Fired() bool { return e.fired }
 
-// eventHeap orders events by (time, pri, seq).
-type eventHeap []*Event
+// Scheduler selects the engine's event-queue backend.
+type Scheduler uint8
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+const (
+	// SchedulerWheel is the default: the hierarchical timing wheel
+	// (wheel.go) with O(1) schedule/cancel.
+	SchedulerWheel Scheduler = iota
+	// SchedulerHeap is the original container/heap queue (heap.go), kept as
+	// the differential-testing oracle. Both backends realize the identical
+	// (time, pri, seq) total order and identical Metrics.
+	SchedulerHeap
+)
+
+func (s Scheduler) String() string {
+	if s == SchedulerHeap {
+		return "heap"
 	}
-	if h[i].pri != h[j].pri {
-		return h[i].pri < h[j].pri
-	}
-	return h[i].seq < h[j].seq
+	return "wheel"
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// defaultScheduler is what NewEngine uses. It is a package variable rather
+// than a constructor parameter because engines are built deep inside
+// workloads; the differential tests (and the themis-sim -sched flag) flip it
+// for a whole run via SetDefaultScheduler. Not synchronized: set it before
+// any concurrent engine construction (the exp.Runner workers only read it).
+var defaultScheduler = SchedulerWheel
+
+// SetDefaultScheduler selects the backend NewEngine uses and returns the
+// previous choice so callers can restore it.
+func SetDefaultScheduler(s Scheduler) Scheduler {
+	prev := defaultScheduler
+	defaultScheduler = s
+	return prev
 }
 
 // Metrics is the engine's hot-path counter block. Trial records surface it so
 // sweeps can report how much scheduling work a scenario did and how effective
 // event recycling was.
+//
+// The block is part of the determinism contract: it is serialized verbatim
+// into Trial records and thus into the committed BENCH artifacts, so both
+// scheduler backends must produce bit-identical counters for the same op
+// sequence (asserted by TestEngineMetricsBackendIdentity and the fuzz
+// harness).
 type Metrics struct {
 	// EventsExecuted is the total number of events whose callbacks ran.
 	EventsExecuted uint64
@@ -93,7 +107,8 @@ type Metrics struct {
 	// EventReuses is the number of Schedule/At calls served from the free
 	// list — allocations avoided by recycling popped and cancelled events.
 	EventReuses uint64
-	// HeapHighWater is the maximum event-queue depth observed.
+	// HeapHighWater is the maximum number of simultaneously pending events
+	// observed, whichever backend queues them.
 	HeapHighWater int
 }
 
@@ -115,7 +130,10 @@ func (m *Metrics) Merge(o Metrics) {
 // concurrent use; the whole simulation runs on the goroutine that calls Run.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	sched   Scheduler
+	wheel   wheel     // timing-wheel backend (SchedulerWheel)
+	heapq   eventHeap // heap backend (SchedulerHeap)
+	pending int       // events queued across whichever backend is active
 	nextSeq uint64
 	rng     *rand.Rand
 	stopped bool
@@ -127,10 +145,17 @@ type Engine struct {
 	metrics Metrics
 }
 
-// NewEngine returns an engine with its clock at zero and a deterministic
-// random source seeded with seed.
+// NewEngine returns an engine with its clock at zero, a deterministic random
+// source seeded with seed, and the default scheduler backend.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return NewEngineWithScheduler(seed, defaultScheduler)
+}
+
+// NewEngineWithScheduler returns an engine on an explicit queue backend —
+// the hook the differential tests use to run one workload on both backends
+// without touching the global default.
+func NewEngineWithScheduler(seed int64, s Scheduler) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed)), sched: s}
 }
 
 // Now returns the current virtual time.
@@ -142,7 +167,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.pending }
 
 // Executed returns the total number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.metrics.EventsExecuted }
@@ -223,9 +248,14 @@ func (e *Engine) schedule(t Time, ev *Event) {
 	ev.time = t
 	ev.seq = e.nextSeq
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
-	if len(e.queue) > e.metrics.HeapHighWater {
-		e.metrics.HeapHighWater = len(e.queue)
+	if e.sched == SchedulerHeap {
+		e.heapPush(ev)
+	} else {
+		e.wheel.add(ev)
+	}
+	e.pending++
+	if e.pending > e.metrics.HeapHighWater {
+		e.metrics.HeapHighWater = e.pending
 	}
 }
 
@@ -250,12 +280,17 @@ func (e *Engine) ScheduleArg(d Duration, fn func(any), arg any) *Event {
 // returning false — in particular a fired event is NOT marked cancelled, so
 // Fired/Cancelled always reflect what actually happened to the callback.
 func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.cancelled || ev.fired || ev.index < 0 {
+	if ev == nil || ev.cancelled || ev.fired || ev.index == idxDead {
 		return false
 	}
 	ev.cancelled = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	if e.sched == SchedulerHeap {
+		e.heapRemove(ev)
+	} else {
+		e.wheel.remove(ev)
+	}
+	ev.index = idxDead
+	e.pending--
 	e.metrics.EventsCancelled++
 	e.release(ev)
 	return true
@@ -273,11 +308,29 @@ func (e *Engine) Stop() { e.stopped = true }
 // turn one shard's Stop into a group-wide halt.
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// step pops and executes the head event. Callers have checked the queue is
-// non-empty and the head is within their time bound.
+// head returns the earliest pending event without removing it, or nil. On
+// the wheel backend this may repartition pending events (load the next due
+// slot into the run heap); it never executes anything.
+func (e *Engine) head() *Event {
+	if e.sched == SchedulerHeap {
+		if len(e.heapq) == 0 {
+			return nil
+		}
+		return e.heapq[0]
+	}
+	return e.wheel.peek()
+}
+
+// step pops and executes the head event. Callers have checked (via head)
+// that an event is pending within their time bound.
 func (e *Engine) step() {
-	ev := e.queue[0]
-	heap.Pop(&e.queue)
+	var ev *Event
+	if e.sched == SchedulerHeap {
+		ev = e.heapPop()
+	} else {
+		ev = e.wheel.pop()
+	}
+	e.pending--
 	e.now = ev.time
 	e.metrics.EventsExecuted++
 	// Mark fired before invoking so a callback cancelling its own handle
@@ -301,7 +354,8 @@ func (e *Engine) Run(until Time) Time {
 			e.stopped = false
 			break
 		}
-		if len(e.queue) == 0 || e.queue[0].time > until {
+		ev := e.head()
+		if ev == nil || ev.time > until {
 			break
 		}
 		e.step()
@@ -315,7 +369,11 @@ func (e *Engine) Run(until Time) Time {
 // the coordinator can observe the halt at the next barrier and propagate it
 // to the whole group.
 func (e *Engine) AdvanceTo(limit Time) Time {
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].time <= limit {
+	for !e.stopped {
+		ev := e.head()
+		if ev == nil || ev.time > limit {
+			break
+		}
 		e.step()
 	}
 	return e.now
@@ -324,10 +382,10 @@ func (e *Engine) AdvanceTo(limit Time) Time {
 // nextTime returns the timestamp of the earliest pending event, or Forever
 // when the queue is empty. The coordinator uses it to pick the next epoch.
 func (e *Engine) nextTime() Time {
-	if len(e.queue) == 0 {
-		return Forever
+	if ev := e.head(); ev != nil {
+		return ev.time
 	}
-	return e.queue[0].time
+	return Forever
 }
 
 // RunAll executes events until the queue drains or Stop is called.

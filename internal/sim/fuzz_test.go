@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+// FuzzWheelHeapEquivalence feeds the op bytecode (see runOps in
+// wheel_test.go) to both scheduler backends and fails on any divergence in
+// pop order, Metrics, or the final clock. The seed corpus covers the three
+// structurally distinct wheel regimes: level-0 slot boundaries, the
+// overflow list and its migrate/cascade path back down, and far-future
+// times near the top of the range. testdata/fuzz/FuzzWheelHeapEquivalence
+// holds the same seeds as committed corpus files.
+func FuzzWheelHeapEquivalence(f *testing.F) {
+	// Slot boundary: events at wheelGran-1 / wheelGran / wheelGran+1
+	// (0x3ff, 0x400, 0x401 with gran bits 10), then a bounded run across
+	// the edge and a drain.
+	f.Add([]byte{
+		0x00, 0xff, 0x03, // schedule now+1023
+		0x00, 0x00, 0x04, // schedule now+1024
+		0x00, 0x01, 0x04, // schedule now+1025
+		0x06, 0x00, // Run(now) — nothing fires
+		0x05, 0x00, 0x04, // AdvanceTo(now+1024) — two fire, one stays
+	})
+	// Overflow cascade: a far event lands past the top-level horizon
+	// (0xff << 52), near events fill level 0, epochs march the frontier so
+	// migrate/cascade run, and a cancel hits the overflow resident.
+	f.Add([]byte{
+		0x02, 0xff, 0x34, // schedule now + 255<<52 — overflow
+		0x00, 0x10, 0x00, // schedule now+16
+		0x02, 0x01, 0x1e, // schedule now + 1<<30 — level 2/3
+		0x05, 0xff, 0xff, // AdvanceTo(now+65535)
+		0x04, 0x00, 0x00, // cancel live[0] — the overflow resident
+		0x07, // nextTime probe forces a refill
+	})
+	// Far future with same-time pri collisions: collisions at one instant,
+	// a probe, then everything cancelled before a final drain.
+	f.Add([]byte{
+		0x03, 0x05, 0x02, // schedule now+5 pri 2
+		0x03, 0x05, 0x00, // schedule now+5 pri 0
+		0x03, 0x05, 0x02, // schedule now+5 pri 2 — seq breaks the tie
+		0x02, 0x7f, 0x32, // schedule now + 127<<50 — far future
+		0x07,             // probe
+		0x04, 0x03, 0x00, // cancel live[3]
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("op program longer than any real workload burst")
+		}
+		if err := diffOps(data); err != nil {
+			t.Fatalf("backends diverge: %v\nminimized: %x", err, shrinkOps(data))
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package sim
+
+import "container/heap"
+
+// This file is the binary-heap scheduler backend — the engine's original
+// event queue, kept alive verbatim as the differential oracle for the timing
+// wheel (see wheel.go). SchedulerHeap engines run on it; the wheel must
+// reproduce its pop order and Metrics bit-for-bit (contract_test.go,
+// wheel_test.go, FuzzWheelHeapEquivalence, and the grid-level
+// TestGridSchedulerEquivalence all compare the two).
+
+// eventBefore is the engine's total order over events: (time, pri, seq).
+// seq is unique per event, so this is a strict total order — pop order is
+// fully determined by it regardless of which queue structure maintains it.
+// Both scheduler backends order by exactly this function.
+func eventBefore(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap orders events by (time, pri, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventBefore(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = idxDead
+	*h = old[:n-1]
+	return e
+}
+
+// heapPush inserts a scheduled event into the heap backend.
+func (e *Engine) heapPush(ev *Event) { heap.Push(&e.heapq, ev) }
+
+// heapRemove cancels a pending event out of the heap backend.
+func (e *Engine) heapRemove(ev *Event) { heap.Remove(&e.heapq, ev.index) }
+
+// heapPop removes and returns the earliest pending event.
+func (e *Engine) heapPop() *Event { return heap.Pop(&e.heapq).(*Event) }
