@@ -94,9 +94,11 @@ bench:
 # parallel experiment runner, a 2-seed flow-churn grid exercising the bounded
 # flow table (budgeted-relearn / budgeted-ecmp / unbounded arms), a 2-seed
 # routing-convergence grid (per-hop delay × spray arm on the distributed
-# control plane), and a 2-seed space-parallel spray grid, emitting the
-# BENCH_smoke.json, BENCH_churn.json, BENCH_convergence.json and
-# BENCH_spray.json artifacts. The smoke grid then re-runs on the binary-heap
+# control plane), a 2-seed space-parallel spray grid, and a 2-seed REPS grid
+# (entropy-cache / congestion-aware / relearn / ecmp / flowlet arms across
+# chaos, churn and convergence), emitting the BENCH_smoke.json,
+# BENCH_churn.json, BENCH_convergence.json, BENCH_spray.json and
+# BENCH_reps.json artifacts. The smoke grid then re-runs on the binary-heap
 # differential oracle (-sched heap) and cmp asserts the report is
 # byte-identical to the timing wheel's — the artifact-level scheduler
 # equivalence check, mirrored in-tree by TestGridSchedulerEquivalence.
@@ -107,6 +109,7 @@ bench-smoke: lint
 	$(GO) run ./cmd/themis-sim sweep -grid churn -seeds 2 -parallel 2 -json BENCH_churn.json
 	$(GO) run ./cmd/themis-sim sweep -grid convergence -seeds 2 -parallel 2 -json BENCH_convergence.json
 	$(GO) run ./cmd/themis-sim sweep -grid spray -seeds 2 -parallel 2 -json BENCH_spray.json
+	$(GO) run ./cmd/themis-sim sweep -grid reps -seeds 2 -parallel 2 -json BENCH_reps.json
 	$(GO) run ./cmd/themis-sim sweep -grid smoke -seeds 2 -parallel 2 -sched heap -json BENCH_smoke_heap.json
 	cmp BENCH_smoke.json BENCH_smoke_heap.json
 	rm -f BENCH_smoke_heap.json

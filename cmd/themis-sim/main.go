@@ -4,7 +4,7 @@
 //	    Fig. 1: the §2.2 motivation study (retransmission ratio, sending
 //	    rate, throughput vs the ideal transport).
 //
-//	themis-sim collective [-pattern allreduce|alltoall] [-lb ecmp|rps|adaptive|flowlet|spray-nothemis|themis]
+//	themis-sim collective [-pattern allreduce|alltoall] [-lb ecmp|rps|adaptive|flowlet|spray-nothemis|themis|reps|congestion]
 //	    [-bytes N] [-ti us] [-td us] [-leaves N] [-spines N] [-hosts N] [-bw gbps] [-seed S]
 //	    One Fig. 5 cell: tail completion time of the slowest group.
 //
@@ -32,9 +32,12 @@
 //	    space-parallel fat-tree permutation (-fattree-k sets the radix);
 //	    -shards N partitions any workload's trial across N engine shards —
 //	    results are byte-identical for every shard count, so like -parallel
-//	    it is an execution knob, not an experiment arm.
+//	    it is an execution knob, not an experiment arm. The reps and
+//	    congestion LB arms take -reps-cache (entropy-cache ring capacity)
+//	    and -path-buckets (per-path entropy buckets for the switch EWMA and
+//	    per-path DCQCN coupling).
 //
-//	themis-sim sweep [-grid fig5|fig1|smoke|chaos|churn|convergence|spray|queue-factor|path-subset|loss-recovery]
+//	themis-sim sweep [-grid fig5|fig1|smoke|chaos|churn|convergence|spray|reps|queue-factor|path-subset|loss-recovery]
 //	    [-pattern allreduce|alltoall] [-bytes N] [-seed S] [-seeds N] [-parallel N] [-shards N] [-json out.json]
 //	    [-sched wheel|heap] [-metrics] [-flight-dir DIR] [-cpuprofile F] [-memprofile F] [-pprof-addr HOST:PORT]
 //	    A scenario grid through the parallel runner (default: the full Fig. 5
@@ -156,6 +159,10 @@ func parseLB(s string) (workload.LBMode, error) {
 		return workload.SprayNoThemis, nil
 	case "themis":
 		return workload.Themis, nil
+	case "reps":
+		return workload.REPS, nil
+	case "congestion":
+		return workload.CongestionAware, nil
 	default:
 		return 0, fmt.Errorf("unknown lb mode %q", s)
 	}
@@ -301,6 +308,8 @@ func runScenario(args []string) error {
 	wl := fs.String("workload", "collective", "workload: motivation|collective|incast|chaos|churn|convergence|spray")
 	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall")
 	lbs := fs.String("lb", "themis", "load balancing arm")
+	repsCache := fs.Int("reps-cache", 0, "reps: entropy-cache ring capacity (0 = default)")
+	pathBuckets := fs.Int("path-buckets", 0, "congestion: per-path entropy buckets (0 = default)")
 	transport := fs.String("transport", "nic-sr", "reliable transport: nic-sr|ideal|gbn")
 	bytes := fs.Int64("bytes", 0, "message/collective size (0 = workload default)")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -342,9 +351,18 @@ func runScenario(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The chaos workload's LB arm is opt-in (see exp.Scenario.LBArmed): arm it
+	// exactly when the user passed -lb explicitly.
+	lbArmed := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "lb" {
+			lbArmed = true
+		}
+	})
 	sc := exp.Scenario{
 		Workload: w, Seed: *seed, Shards: *shards,
-		Pattern: p, LB: lbMode, Transport: tr,
+		Pattern: p, LB: lbMode, LBArmed: lbArmed, Transport: tr,
+		RepsCache: *repsCache, PathBuckets: *pathBuckets,
 		MessageBytes: *bytes,
 		Leaves:       *leaves, Spines: *spines, HostsPerLeaf: *hosts,
 		FatTreeK:  *fatTreeK,
@@ -395,7 +413,7 @@ func printSnapshot(s *obs.Snapshot) {
 
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	gridName := fs.String("grid", "fig5", "scenario grid: fig5|fig1|smoke|chaos|churn|convergence|spray|queue-factor|path-subset|loss-recovery")
+	gridName := fs.String("grid", "fig5", "scenario grid: fig5|fig1|smoke|chaos|churn|convergence|spray|reps|queue-factor|path-subset|loss-recovery")
 	pattern := fs.String("pattern", "allreduce", "collective: allreduce|alltoall (fig5)")
 	bytes := fs.Int64("bytes", 300<<20, "collective size per group (fig5) / message size (fig1)")
 	seed := fs.Int64("seed", 1, "random seed (first seed for multi-seed grids)")
@@ -446,6 +464,8 @@ func runSweep(args []string) error {
 		grid = exp.ConvergenceGrid(*seed, *seeds)
 	case "spray":
 		grid = exp.SprayGrid(seedList...)
+	case "reps":
+		grid = exp.RepsGrid(*seed, *seeds)
 	case "queue-factor":
 		grid = exp.QueueFactorGrid(*seed, []float64{0.05, 0.2, 0.5, 1.5, 3.0})
 	case "path-subset":

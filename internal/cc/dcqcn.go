@@ -40,6 +40,12 @@ type Config struct {
 	// LineRate/100 and LineRate/20, matching the common practice of scaling
 	// the published 40/400 Mbps steps to the link rate).
 	RAI, RHAI int64
+	// PathBuckets, when positive, enables per-path congestion estimates: one
+	// α EWMA per entropy bucket (see PathAlpha). A CNP attributed to bucket b
+	// (via OnCNPPath) marks and cuts by α_b instead of the flow-global α, so
+	// a spraying flow crossing one congested path no longer cuts as if every
+	// path were congested. Zero keeps the published flow-global behavior.
+	PathBuckets int
 	// NackFactor is the multiplicative cut applied when the transport
 	// reports a NACK (the paper's "unnecessary slow start", §2.2). NACK
 	// cuts are gated by TD like CNP cuts but are loss-signal responses:
@@ -110,7 +116,11 @@ type DCQCN struct {
 
 	rc    int64   // current rate
 	rt    int64   // target rate
-	alpha float64 // congestion estimate
+	alpha float64 // flow-global congestion estimate
+
+	// paths holds the per-entropy-bucket estimates when Config.PathBuckets
+	// is set; nil runs the published flow-global algorithm.
+	paths *PathAlpha
 
 	lastDecrease  sim.Time
 	everDecreased bool
@@ -137,6 +147,9 @@ func New(engine *sim.Engine, cfg Config) *DCQCN {
 		rt:     cfg.LineRate,
 		alpha:  1,
 	}
+	if cfg.PathBuckets > 0 {
+		d.paths = NewPathAlpha(cfg.PathBuckets, cfg.AlphaG)
+	}
 	d.incTimer = sim.NewTicker(engine, cfg.TI, d.onTimerIncrease)
 	d.alphaTimer = sim.NewTimer(engine, d.onAlphaTimer)
 	return d
@@ -154,11 +167,32 @@ func (d *DCQCN) Alpha() float64 { return d.alpha }
 // Stats returns a snapshot of event counters.
 func (d *DCQCN) Stats() Stats { return d.stats }
 
-// OnCNP processes a congestion notification.
+// Paths returns the per-bucket estimates, or nil when PathBuckets is unset
+// (for tests/introspection).
+func (d *DCQCN) Paths() *PathAlpha { return d.paths }
+
+// OnCNP processes a congestion notification against the flow-global α.
 func (d *DCQCN) OnCNP() {
+	d.onCNP(-1)
+}
+
+// OnCNPPath processes a congestion notification attributed to an entropy
+// bucket. With PathBuckets configured, the mark and the cut use that
+// bucket's α; otherwise (or for an out-of-range bucket) it degrades to the
+// flow-global OnCNP.
+func (d *DCQCN) OnCNPPath(bucket int) {
+	d.onCNP(bucket)
+}
+
+func (d *DCQCN) onCNP(bucket int) {
 	d.stats.CNPs++
 	d.cnpSeen = true
-	d.decrease()
+	if d.paths != nil && bucket >= 0 && bucket < d.paths.Buckets() {
+		d.paths.OnMark(bucket)
+	} else {
+		bucket = -1
+	}
+	d.decrease(bucket)
 }
 
 // OnNack processes a NACK: commodity RNICs treat it as a congestion/loss
@@ -197,6 +231,9 @@ func (d *DCQCN) OnTimeout() {
 	d.setRate(d.cfg.MinRate)
 	d.rt = d.cfg.MinRate
 	d.alpha = 1
+	if d.paths != nil {
+		d.paths.Reset()
+	}
 	d.resetIncreaseState()
 }
 
@@ -211,8 +248,9 @@ func (d *DCQCN) OnBytesSent(n int) {
 }
 
 // decrease applies the CNP/NACK multiplicative decrease, rate-limited to one
-// cut per TD.
-func (d *DCQCN) decrease() {
+// cut per TD. bucket >= 0 selects the per-path α for the cut (the bucket has
+// already been marked by onCNP); -1 uses the flow-global α.
+func (d *DCQCN) decrease(bucket int) {
 	now := d.engine.Now()
 	if d.everDecreased && now.Sub(d.lastDecrease) < d.cfg.TD {
 		d.stats.SuppressedCuts++
@@ -225,8 +263,12 @@ func (d *DCQCN) decrease() {
 	d.stats.Decreases++
 
 	d.updateAlphaUp()
+	alpha := d.alpha
+	if bucket >= 0 {
+		alpha = d.paths.Alpha(bucket)
+	}
 	d.rt = d.rc
-	newRate := int64(float64(d.rc) * (1 - d.alpha/2))
+	newRate := int64(float64(d.rc) * (1 - alpha/2))
 	d.setRate(newRate)
 	d.resetIncreaseState()
 }
@@ -248,8 +290,15 @@ func (d *DCQCN) armAlphaTimer() {
 func (d *DCQCN) onAlphaTimer() {
 	if !d.cnpSeen {
 		d.alpha = (1 - d.cfg.AlphaG) * d.alpha
+		if d.paths != nil {
+			d.paths.Decay()
+		}
 	}
-	if d.cnpSeen || d.alpha >= 1e-4 {
+	live := d.cnpSeen || d.alpha >= 1e-4
+	if d.paths != nil && d.paths.Max() >= 1e-4 {
+		live = true
+	}
+	if live {
 		d.armAlphaTimer()
 	}
 }

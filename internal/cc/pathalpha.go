@@ -1,0 +1,64 @@
+package cc
+
+// PathAlpha maintains per-path congestion estimates for the congestion-aware
+// spraying arm (PAPERS.md: "Congestion Control for Spraying with Congested
+// Paths"): one EWMA α per entropy bucket instead of DCQCN's single flow-global
+// estimate. A spraying flow crosses many paths at once; folding every path's
+// marks into one α makes a single congested path cut the whole flow as if all
+// paths were congested. Keeping α per bucket lets the rate machine cut by the
+// congested path's estimate while the clean paths' estimates decay.
+//
+// Buckets are fixed at construction and all state lives in a slice, so every
+// operation iterates in index order — deterministic by construction.
+type PathAlpha struct {
+	g     float64
+	alpha []float64
+}
+
+// NewPathAlpha returns per-bucket estimates, all starting at 1 like DCQCN's
+// flow-global α (maximally cautious until feedback arrives). g is the EWMA
+// gain shared with the flow-global estimate.
+func NewPathAlpha(buckets int, g float64) *PathAlpha {
+	p := &PathAlpha{g: g, alpha: make([]float64, buckets)}
+	for i := range p.alpha {
+		p.alpha[i] = 1
+	}
+	return p
+}
+
+// Buckets returns the bucket count.
+func (p *PathAlpha) Buckets() int { return len(p.alpha) }
+
+// Alpha returns bucket b's congestion estimate.
+func (p *PathAlpha) Alpha(b int) float64 { return p.alpha[b] }
+
+// OnMark applies the EWMA-up step to bucket b: a CNP was attributed to it.
+func (p *PathAlpha) OnMark(b int) {
+	p.alpha[b] = (1-p.g)*p.alpha[b] + p.g
+}
+
+// Decay applies one CNP-free decay period to every bucket.
+func (p *PathAlpha) Decay() {
+	for i := range p.alpha {
+		p.alpha[i] = (1 - p.g) * p.alpha[i]
+	}
+}
+
+// Reset restores every bucket to the maximally-cautious α=1 (RTO expiry:
+// the feedback loop itself stalled, so no estimate is trustworthy).
+func (p *PathAlpha) Reset() {
+	for i := range p.alpha {
+		p.alpha[i] = 1
+	}
+}
+
+// Max returns the largest per-bucket estimate (quiescence check).
+func (p *PathAlpha) Max() float64 {
+	m := 0.0
+	for _, a := range p.alpha {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}

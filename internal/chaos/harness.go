@@ -30,6 +30,10 @@ type Options struct {
 	// LBMode zero value, so a flag is needed to ask for it.
 	LB    workload.LBMode
 	LBSet bool
+	// RepsCache / PathBuckets tune the REPS and congestion-aware arms
+	// (zero = workload defaults); ignored by the other arms.
+	RepsCache   int
+	PathBuckets int
 	// DistributedRouting runs the per-switch BGP-style control plane instead
 	// of the routing oracle; ConvergenceDelay is its per-hop message delay
 	// (see internal/route).
@@ -114,6 +118,8 @@ func BuildCluster(sc Scenario, opt Options) (*workload.Cluster, error) {
 		HostsPerLeaf:       opt.HostsPerLeaf,
 		Bandwidth:          opt.Bandwidth,
 		LB:                 opt.LB,
+		RepsCache:          opt.RepsCache,
+		PathBuckets:        opt.PathBuckets,
 		LossyControl:       true,
 		RTO:                200 * sim.Microsecond,
 		RTOBackoff:         2,

@@ -276,6 +276,78 @@ func ChurnGrid(first int64, count int) []Scenario {
 	return grid
 }
 
+// repsArms returns the spraying-arm comparison set the REPS grid sweeps: the
+// two feedback-driven arms (REPS entropy cache, congestion-aware bias) against
+// the established baselines — Themis with relearn, plain ECMP and flowlet
+// switching. Themis knobs only matter on the churn cells; the chaos and
+// convergence harness pins its own hardened middleware config.
+func repsArms() []struct {
+	name  string
+	lb    workload.LBMode
+	knobs ThemisKnobs
+} {
+	return []struct {
+		name  string
+		lb    workload.LBMode
+		knobs ThemisKnobs
+	}{
+		{"reps", workload.REPS, ThemisKnobs{}},
+		{"congestion", workload.CongestionAware, ThemisKnobs{}},
+		{"themis-relearn", workload.Themis, ThemisKnobs{Relearn: true, FallbackOnFailure: true}},
+		{"ecmp", workload.ECMP, ThemisKnobs{}},
+		{"flowlet", workload.Flowlet, ThemisKnobs{}},
+	}
+}
+
+// RepsGrid returns the REPS evaluation sweep for seeds [first, first+count):
+// per seed, every spraying arm (see repsArms) crossed with three stress
+// workloads — the seeded chaos fault soak, a light flow-churn run with the
+// seeded fault mix, and the routing-reconvergence soak on the distributed
+// control plane at a fast per-hop delay. Chaos cells set LBArmed because the
+// chaos workload's LB arm is opt-in (see Scenario.LBArmed); cells are kept
+// light (smaller transfers, fewer churn QPs than ChurnGrid) so the grid stays
+// a bench-smoke citizen.
+func RepsGrid(first int64, count int) []Scenario {
+	var grid []Scenario
+	for i := 0; i < count; i++ {
+		seed := first + int64(i)
+		for _, arm := range repsArms() {
+			grid = append(grid,
+				Scenario{
+					Name:         fmt.Sprintf("reps/chaos/%s/seed%d", arm.name, seed),
+					Workload:     Chaos,
+					Seed:         seed,
+					LB:           arm.lb,
+					LBArmed:      true,
+					MessageBytes: 512 << 10,
+				},
+				Scenario{
+					Name:         fmt.Sprintf("reps/churn/%s/seed%d", arm.name, seed),
+					Workload:     Churn,
+					Seed:         seed,
+					LB:           arm.lb,
+					QPs:          48,
+					Concurrency:  12,
+					MessageBytes: 64 << 10,
+					LossyControl: true,
+					Faults:       true,
+					Themis:       arm.knobs,
+				},
+				Scenario{
+					Name:               fmt.Sprintf("reps/convergence/%s/seed%d", arm.name, seed),
+					Workload:           Convergence,
+					Seed:               seed,
+					LB:                 arm.lb,
+					MessageBytes:       512 << 10,
+					DistributedRouting: true,
+					ConvergenceDelay:   5 * sim.Microsecond,
+					Themis:             arm.knobs,
+				})
+		}
+	}
+	return grid
+}
+
 // SmokeGrid is the miniature CI sweep: one fast collective cell per seed on a
 // 3×3×2 fabric plus one chaos soak seed — a few hundred milliseconds of wall
 // clock in total, enough to exercise every layer of the harness.
@@ -302,14 +374,23 @@ func SmokeGrid(seeds ...int64) []Scenario {
 }
 
 // SprayGrid returns the space-parallel workload cells: a fat-tree permutation
-// under ECMP and random packet spraying for each seed. The cells are small
-// (k=4, 64 KB messages) because the grid exists for the shard-determinism
-// regression and CLI smoke runs, not for scale — BenchmarkShardScaling covers
-// the large configuration.
+// under ECMP, random packet spraying, the REPS entropy cache and the
+// congestion-aware biased sprayer for each seed. The cells are small (k=4,
+// 64 KB messages) because the grid exists for the shard-determinism regression
+// and CLI smoke runs, not for scale — BenchmarkShardScaling covers the large
+// configuration. Keeping the feedback-driven arms in this grid is deliberate:
+// TestShardCountDeterminism runs it at several shard counts, so any entropy
+// state that stopped being a pure function of per-sender feedback would show
+// up as a byte diff here.
 func SprayGrid(seeds ...int64) []Scenario {
 	var grid []Scenario
 	for _, seed := range seeds {
-		for _, lb := range []workload.LBMode{workload.ECMP, workload.RandomSpray} {
+		for _, lb := range []workload.LBMode{
+			workload.ECMP,
+			workload.RandomSpray,
+			workload.REPS,
+			workload.CongestionAware,
+		} {
 			grid = append(grid, Scenario{
 				Name:         fmt.Sprintf("spray/%v/seed%d", lb, seed),
 				Workload:     Spray,

@@ -101,7 +101,17 @@ type Scenario struct {
 	Shards int `json:"-"`
 
 	// Experiment arms.
-	LB        workload.LBMode    `json:"lb,omitempty"`
+	LB workload.LBMode `json:"lb,omitempty"`
+	// LBArmed marks LB as an explicit chaos-workload arm: chaos scenarios
+	// historically always ran the harness default (Themis), so the arm must
+	// be opt-in to keep their serialized form and results unchanged.
+	// Convergence scenarios always arm LB; other workloads ignore this.
+	LBArmed bool `json:"lb_armed,omitempty"`
+	// RepsCache (LB == REPS) and PathBuckets (LB == CongestionAware) are the
+	// spraying-arm knobs; zero takes the workload defaults.
+	RepsCache   int `json:"reps_cache,omitempty"`
+	PathBuckets int `json:"path_buckets,omitempty"`
+
 	Transport rnic.Transport     `json:"transport,omitempty"`
 	Pattern   collective.Pattern `json:"pattern,omitempty"` // collective only
 	TI        sim.Duration       `json:"ti,omitempty"`      // DCQCN sweep knobs
@@ -258,6 +268,8 @@ func (s Scenario) churnConfig() workload.ChurnConfig {
 		HostsPerLeaf: s.HostsPerLeaf,
 		Bandwidth:    s.Bandwidth,
 		LB:           s.LB,
+		RepsCache:    s.RepsCache,
+		PathBuckets:  s.PathBuckets,
 		Transport:    s.Transport,
 		QPs:          s.QPs,
 		Concurrency:  s.Concurrency,
@@ -288,6 +300,8 @@ func (s Scenario) sprayConfig() workload.SprayConfig {
 		MessageBytes: s.MessageBytes,
 		BurstBytes:   s.BurstBytes,
 		LB:           s.LB,
+		RepsCache:    s.RepsCache,
+		PathBuckets:  s.PathBuckets,
 		DisablePFC:   s.DisablePFC,
 		Horizon:      s.Horizon,
 	}
@@ -303,6 +317,13 @@ func (s Scenario) chaosOptions() chaos.Options {
 		Flows:        s.Flows,
 		MessageBytes: s.MessageBytes,
 		Horizon:      s.Horizon,
+
+		// LB is an arm only when explicitly armed (see Scenario.LBArmed);
+		// legacy chaos scenarios keep the harness default (Themis).
+		LB:          s.LB,
+		LBSet:       s.LBArmed,
+		RepsCache:   s.RepsCache,
+		PathBuckets: s.PathBuckets,
 	}
 }
 
@@ -322,6 +343,8 @@ func (s Scenario) convergenceOptions() chaos.Options {
 
 		LB:                 s.LB,
 		LBSet:              true,
+		RepsCache:          s.RepsCache,
+		PathBuckets:        s.PathBuckets,
 		DistributedRouting: s.DistributedRouting,
 		ConvergenceDelay:   s.ConvergenceDelay,
 	}

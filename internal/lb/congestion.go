@@ -1,0 +1,95 @@
+package lb
+
+import "themis/internal/packet"
+
+// Defaults for CongestionAware. The gain mirrors DCQCN's g (1/16), clocked
+// per decision rather than per timer tick; the threshold marks a port
+// congested once half its recent observations were over MarkBytes.
+const (
+	DefaultCongestionGain      = 1.0 / 16
+	DefaultCongestionThreshold = 0.5
+)
+
+// CongestionAware is the switch-local congestion-aware spraying arm
+// (PAPERS.md: "Congestion Control for Spraying with Congested Paths"): it
+// keeps a per-egress-port EWMA of a binary congestion indicator (queue depth
+// at or over MarkBytes — the same Kmin knee the ECN marker uses) and biases
+// the spray away from ports whose estimate exceeds Threshold. State lives in
+// the switch instance like flowlet state does; packets still spread by the
+// per-packet entropy the sender stamps, so the arm sprays, it just sprays
+// around hotspots.
+//
+// Selection is fully deterministic: the rotation start comes from the packet
+// key hash (which varies per packet under a spraying entropy source), the
+// estimate update walks candidates in slice order, and no RNG is drawn.
+type CongestionAware struct {
+	// MarkBytes is the queue depth treated as a congestion signal — the
+	// ECN-marking knee of the attached links.
+	MarkBytes int
+	// Gain is the EWMA gain applied per decision.
+	Gain float64
+	// Threshold is the estimate above which a port is skipped while any
+	// candidate sits below it.
+	Threshold float64
+	// ewma holds the per-port congestion estimate, indexed by port number.
+	ewma []float64
+}
+
+// NewCongestionAware returns a congestion-aware selector. markBytes must be
+// positive; gain and threshold fall back to the defaults when <= 0.
+func NewCongestionAware(markBytes int, gain, threshold float64) *CongestionAware {
+	if markBytes <= 0 {
+		panic("lb: CongestionAware needs a positive marking threshold")
+	}
+	if gain <= 0 {
+		gain = DefaultCongestionGain
+	}
+	if threshold <= 0 {
+		threshold = DefaultCongestionThreshold
+	}
+	return &CongestionAware{MarkBytes: markBytes, Gain: gain, Threshold: threshold}
+}
+
+// Select implements Selector: update every candidate's estimate from its
+// instantaneous queue, then take the first candidate in rotation order from
+// the packet-hash position whose estimate is below Threshold — or, when all
+// paths look congested, the least-congested one (first in rotation on ties).
+func (s *CongestionAware) Select(pkt *packet.Packet, cands []int, ctx Context) int {
+	n := len(cands)
+	for _, c := range cands {
+		if c >= len(s.ewma) {
+			grown := make([]float64, c+1) //lint:alloc-ok per-port table growth happens once per new port number, not per packet
+			copy(grown, s.ewma)
+			s.ewma = grown
+		}
+		m := 0.0
+		if ctx.QueueBytes(c) >= s.MarkBytes {
+			m = 1.0
+		}
+		s.ewma[c] = (1-s.Gain)*s.ewma[c] + s.Gain*m
+	}
+	start := Index(gf32Mul(Hash(pkt.Key()), ctx.Seed()|1), n)
+	best := cands[start]
+	bestE := s.ewma[best]
+	for i := 0; i < n; i++ {
+		c := cands[(start+i)%n]
+		if e := s.ewma[c]; e < s.Threshold {
+			return c
+		} else if e < bestE {
+			best, bestE = c, e
+		}
+	}
+	return best
+}
+
+// Name implements Selector.
+func (s *CongestionAware) Name() string { return "congestion-aware" }
+
+// Estimate returns the current congestion estimate for a port (0 for ports
+// never observed) — exposed for tests and state-size accounting.
+func (s *CongestionAware) Estimate(port int) float64 {
+	if port >= len(s.ewma) {
+		return 0
+	}
+	return s.ewma[port]
+}

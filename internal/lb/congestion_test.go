@@ -1,0 +1,113 @@
+package lb
+
+import (
+	"testing"
+
+	"themis/internal/packet"
+)
+
+func TestCongestionAwareBiasesAwayFromHotPort(t *testing.T) {
+	s := NewCongestionAware(1000, 0.5, 0) // high gain: estimates move fast
+	cands := []int{0, 1, 2, 3}
+	ctx := newFakeCtx()
+	ctx.queues[2] = 5000 // port 2 sits over the knee
+	counts := map[int]int{}
+	for i := 0; i < 256; i++ {
+		p := dataPkt(1, 2, uint16(3000+i), packet.PSN(i))
+		counts[s.Select(p, cands, ctx)]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("congested port still picked %d times: %v", counts[2], counts)
+	}
+	for _, c := range []int{0, 1, 3} {
+		if counts[c] == 0 {
+			t.Fatalf("uncongested port %d never used: %v", c, counts)
+		}
+	}
+	if s.Estimate(2) <= s.Estimate(0) {
+		t.Fatalf("estimates: hot %v cold %v", s.Estimate(2), s.Estimate(0))
+	}
+}
+
+func TestCongestionAwareAllCongestedPicksLeastEstimate(t *testing.T) {
+	s := NewCongestionAware(100, 0.5, 0)
+	cands := []int{0, 1}
+	ctx := newFakeCtx()
+	// Warm both ports over the knee, port 1 hotter for longer.
+	ctx.queues[0], ctx.queues[1] = 200, 200
+	for i := 0; i < 10; i++ {
+		s.Select(dataPkt(1, 2, uint16(i), 0), cands, ctx)
+	}
+	ctx.queues[0] = 0 // port 0 drains; port 1 stays hot
+	got := s.Select(dataPkt(1, 2, 99, 0), cands, ctx)
+	// One decay step may not drop port 0 below the threshold yet, but it must
+	// already be the lesser estimate.
+	if s.Estimate(0) >= s.Estimate(1) {
+		t.Fatalf("estimates: %v vs %v", s.Estimate(0), s.Estimate(1))
+	}
+	if got != 0 {
+		t.Fatalf("picked %d, want the draining port 0", got)
+	}
+}
+
+// TestCongestionAwareDeterministic: no RNG, no map order — identical inputs
+// give identical decisions, the property the shard contract needs.
+func TestCongestionAwareDeterministic(t *testing.T) {
+	run := func() []int {
+		s := NewCongestionAware(1000, 0, 0)
+		cands := []int{4, 5, 6, 7}
+		ctx := newFakeCtx()
+		var out []int
+		for i := 0; i < 128; i++ {
+			ctx.queues[4+i%4] = (i * 37) % 3000
+			out = append(out, s.Select(dataPkt(1, 2, uint16(i), packet.PSN(i)), cands, ctx))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCongestionAwareUncongestedSpreads: with every estimate below the
+// threshold the arm keeps spraying — distinct flow keys land on distinct
+// rotation starts, so all ports see traffic.
+func TestCongestionAwareUncongestedSpreads(t *testing.T) {
+	s := NewCongestionAware(1<<20, 0, 0)
+	cands := []int{0, 1, 2, 3}
+	ctx := newFakeCtx()
+	counts := map[int]int{}
+	for i := 0; i < 512; i++ {
+		counts[s.Select(dataPkt(1, 2, uint16(i), 0), cands, ctx)]++
+	}
+	for _, c := range cands {
+		if counts[c] == 0 {
+			t.Fatalf("port %d never used under no congestion: %v", c, counts)
+		}
+	}
+}
+
+func TestCongestionAwareZeroKneePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCongestionAware(0, 0, 0)
+}
+
+func TestCongestionAwareDefaultsAndName(t *testing.T) {
+	s := NewCongestionAware(100, 0, 0)
+	if s.Gain != DefaultCongestionGain || s.Threshold != DefaultCongestionThreshold {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.Name() != "congestion-aware" {
+		t.Fatal("name")
+	}
+	if s.Estimate(12345) != 0 {
+		t.Fatal("unobserved port must report a zero estimate")
+	}
+}

@@ -5,6 +5,20 @@ import (
 	"themis/internal/sim"
 )
 
+// flowletIdleFactor scales Gap into the eviction threshold: an entry idle for
+// longer than flowletIdleFactor×Gap is dead state — any packet arriving after
+// a plain Gap already re-balances, so keeping the entry buys nothing beyond
+// one map hit, and under flow churn the table would otherwise grow one entry
+// per flow key forever.
+const flowletIdleFactor = 16
+
+// flowletSweepPerSelect bounds the amortized eviction work: each Select
+// advances the clock hand over at most this many entries. Two checks per
+// insertion of at most one new entry means the table shrinks whenever more
+// than half the scanned entries are expired, so occupancy stays proportional
+// to the number of flows active within the idle window.
+const flowletSweepPerSelect = 2
+
 // Flowlet implements flowlet switching [10, 23, 36]: a flow keeps its current
 // path while packets arrive back-to-back, and may be re-balanced onto the
 // least-loaded path whenever an inter-packet gap exceeds Gap (the flowlet
@@ -12,14 +26,26 @@ import (
 // flows essentially never expose gaps larger than a sensible timeout, so the
 // policy degenerates to flow-level balancing — the incompatibility §2.3
 // describes; the Fig. 5 ablation reproduces that collapse.
+//
+// Idle entries are evicted by an amortized clock-hand sweep over a side
+// slice (never by iterating the map, whose order is nondeterministic and
+// banned on hot paths): each Select checks up to flowletSweepPerSelect
+// entries and deletes those idle longer than flowletIdleFactor×Gap. Eviction
+// never changes a packet decision: a re-created entry runs the same
+// stateless Adaptive re-balance the gap-expiry path would have run.
 type Flowlet struct {
 	// Gap is the idle interval after which a flow may switch paths.
 	Gap sim.Duration
 	// table tracks the last-seen time and current port per flow.
 	table map[packet.FlowKey]*flowletEntry
+	// order is the clock-hand scan sequence over live entries; hand is the
+	// next index to check. Eviction swap-removes, so order is unordered.
+	order []*flowletEntry
+	hand  int
 }
 
 type flowletEntry struct {
+	key  packet.FlowKey
 	last sim.Time
 	port int
 }
@@ -38,15 +64,39 @@ func (f *Flowlet) Select(pkt *packet.Packet, cands []int, ctx Context) int {
 	now := ctx.Now()
 	e, ok := f.table[key]
 	if !ok {
-		e = &flowletEntry{port: Adaptive{}.Select(pkt, cands, ctx)} //lint:alloc-ok one entry per new flowlet key: per-flow setup, not per-packet
+		e = &flowletEntry{key: key, port: Adaptive{}.Select(pkt, cands, ctx)} //lint:alloc-ok one entry per new flowlet key: per-flow setup, not per-packet
 		f.table[key] = e
+		f.order = append(f.order, e) //lint:alloc-ok amortized growth of the per-flow scan slice, not per-packet
 	} else if now.Sub(e.last) > f.Gap || !contains(cands, e.port) {
 		// New flowlet (or the cached port is no longer a valid candidate,
 		// e.g. after a link failure): re-balance.
 		e.port = Adaptive{}.Select(pkt, cands, ctx)
 	}
 	e.last = now
+	f.sweep(now)
 	return e.port
+}
+
+// sweep advances the clock hand over up to flowletSweepPerSelect entries,
+// evicting those idle beyond flowletIdleFactor×Gap. O(1) amortized,
+// allocation-free, and deterministic (slice order, never map order).
+func (f *Flowlet) sweep(now sim.Time) {
+	idle := sim.Duration(flowletIdleFactor) * f.Gap
+	for i := 0; i < flowletSweepPerSelect && len(f.order) > 0; i++ {
+		if f.hand >= len(f.order) {
+			f.hand = 0
+		}
+		e := f.order[f.hand]
+		if now.Sub(e.last) <= idle {
+			f.hand++
+			continue
+		}
+		delete(f.table, e.key)
+		last := len(f.order) - 1
+		f.order[f.hand] = f.order[last]
+		f.order[last] = nil
+		f.order = f.order[:last]
+	}
 }
 
 // Name implements Selector.

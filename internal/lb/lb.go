@@ -159,8 +159,15 @@ func (ECMP) Name() string { return "ecmp" }
 // spraying, RPS [13]).
 type RandomSpray struct{}
 
-// Select implements Selector.
+// Select implements Selector. A single candidate is returned without
+// consuming a random draw: degraded fabrics (failed links leaving one uplink)
+// must not perturb the shared per-switch RNG stream for a decision with no
+// freedom, or the failure would shift every later spray decision on the
+// switch.
 func (RandomSpray) Select(_ *packet.Packet, cands []int, ctx Context) int {
+	if len(cands) == 1 {
+		return cands[0]
+	}
 	return cands[ctx.Rand().Intn(len(cands))]
 }
 
@@ -172,14 +179,16 @@ func (RandomSpray) Name() string { return "rps" }
 // per-packet adaptive routing as deployed in AI fabrics.
 type Adaptive struct{}
 
-// Select implements Selector.
+// Select implements Selector. The winner is the first minimum-queue
+// candidate in rotation order starting from the flow-hash position, so ties
+// genuinely spread by flow hash rather than collapsing onto cands[0].
 func (Adaptive) Select(pkt *packet.Packet, cands []int, ctx Context) int {
-	best := cands[0]
-	bestQ := ctx.QueueBytes(best)
 	start := ECMPIndex(pkt.Key(), ctx.Seed(), len(cands))
-	for i := 0; i < len(cands); i++ {
+	best := cands[start]
+	bestQ := ctx.QueueBytes(best)
+	for i := 1; i < len(cands); i++ {
 		c := cands[(start+i)%len(cands)]
-		if q := ctx.QueueBytes(c); q < bestQ || (q == bestQ && c == cands[start]) {
+		if q := ctx.QueueBytes(c); q < bestQ {
 			best, bestQ = c, q
 		}
 	}

@@ -335,3 +335,189 @@ func TestTierSeedsDecorrelate(t *testing.T) {
 		t.Fatalf("tiers correlated: only %d/%d differ", differ, flows)
 	}
 }
+
+// TestAdaptiveTieBreakFirstInRotation pins the deterministic tie-break: among
+// equal shortest queues, Adaptive returns the first minimum encountered
+// scanning from the flow's hash-derived rotation start — never a
+// scan-order-dependent or RNG-dependent choice.
+func TestAdaptiveTieBreakFirstInRotation(t *testing.T) {
+	cands := []int{0, 1, 2, 3}
+	cases := []struct {
+		name   string
+		queues map[int]int
+	}{
+		{"all-equal", map[int]int{0: 5, 1: 5, 2: 5, 3: 5}},
+		{"two-way-tie", map[int]int{0: 9, 1: 3, 2: 3, 3: 9}},
+		{"tie-wraps-rotation", map[int]int{0: 1, 1: 7, 2: 7, 3: 1}},
+		{"unique-min", map[int]int{0: 4, 1: 2, 2: 8, 3: 6}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for sport := uint16(0); sport < 64; sport++ {
+				ctx := newFakeCtx()
+				for p, q := range tc.queues {
+					ctx.queues[p] = q
+				}
+				p := dataPkt(1, 2, sport, 0)
+				got := Adaptive{}.Select(p, cands, ctx)
+				// Reference: walk the rotation from the hash start and take
+				// the first strict minimum.
+				start := ECMPIndex(p.Key(), ctx.Seed(), len(cands))
+				want := cands[start]
+				for i := 1; i < len(cands); i++ {
+					c := cands[(start+i)%len(cands)]
+					if ctx.queues[c] < ctx.queues[want] {
+						want = c
+					}
+				}
+				if got != want {
+					t.Fatalf("sport %d: got %d want %d (start %d)", sport, got, want, start)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveTieBreakSpreadsFlows: because the rotation start is per-flow,
+// an all-tied fabric still spreads different flows across all ports instead
+// of polarizing onto the lowest-indexed candidate.
+func TestAdaptiveTieBreakSpreadsFlows(t *testing.T) {
+	cands := []int{0, 1, 2, 3}
+	ctx := newFakeCtx()
+	seen := map[int]int{}
+	for sport := uint16(0); sport < 256; sport++ {
+		seen[Adaptive{}.Select(dataPkt(1, 2, sport, 0), cands, ctx)]++
+	}
+	for _, c := range cands {
+		if seen[c] == 0 {
+			t.Fatalf("tied queues polarized away from port %d: %v", c, seen)
+		}
+	}
+}
+
+// TestRandomSpraySingleCandidateDrawsNoRNG is the regression for the
+// degraded-fabric determinism bug: with one live candidate there is no choice
+// to make, and drawing from the shared per-switch RNG anyway would perturb
+// every later decision on that switch relative to a healthy run.
+func TestRandomSpraySingleCandidateDrawsNoRNG(t *testing.T) {
+	var sel RandomSpray
+	p := dataPkt(1, 2, 100, 0)
+	// Interleave single-candidate selections into one context but not the
+	// other; the multi-candidate decision stream must stay identical.
+	a, b := newFakeCtx(), newFakeCtx()
+	multi := []int{3, 4, 5, 6}
+	for i := 0; i < 64; i++ {
+		if got := sel.Select(p, []int{9}, a); got != 9 {
+			t.Fatalf("single candidate: got %d", got)
+		}
+		ga, gb := sel.Select(p, multi, a), sel.Select(p, multi, b)
+		if ga != gb {
+			t.Fatalf("decision %d diverged: %d vs %d — single-candidate select consumed RNG", i, ga, gb)
+		}
+	}
+}
+
+// TestFlowletTableBounded is the flow-churn regression: one packet each from
+// a long stream of distinct flows must not grow the table monotonically — the
+// amortized sweep has to evict idle entries, keeping occupancy proportional
+// to the flows active inside the idle window, not to total flows ever seen.
+func TestFlowletTableBounded(t *testing.T) {
+	gap := 10 * sim.Microsecond
+	fl := NewFlowlet(gap)
+	cands := []int{0, 1, 2, 3}
+	ctx := newFakeCtx()
+	const flows = 20000
+	peak := 0
+	for i := 0; i < flows; i++ {
+		ctx.now = ctx.now.Add(sim.Microsecond)
+		fl.Select(dataPkt(1, 2, uint16(i), packet.PSN(i)), cands, ctx)
+		if n := fl.Entries(); n > peak {
+			peak = n
+		}
+	}
+	// Each flow is idle after its single packet; the idle window spans
+	// flowletIdleFactor×gap = 160 µs = 160 new flows at this arrival rate.
+	// The sweep retires up to 2 entries per select against 1 insertion, so
+	// occupancy must stay within a small multiple of the window — far below
+	// the 20000 keys offered.
+	bound := 4 * flowletIdleFactor * int(gap/sim.Microsecond)
+	if peak > bound {
+		t.Fatalf("flowlet table peaked at %d entries (bound %d) over %d flows", peak, bound, flows)
+	}
+	// And long-idle state must eventually vanish entirely: advance far past
+	// the window and let the sweep run on a single revisiting flow.
+	ctx.now = ctx.now.Add(sim.Second)
+	for i := 0; i < flows; i++ {
+		fl.Select(dataPkt(1, 2, 7, 0), cands, ctx)
+		ctx.now = ctx.now.Add(sim.Nanosecond)
+	}
+	if n := fl.Entries(); n != 1 {
+		t.Fatalf("stale entries survived: %d", n)
+	}
+}
+
+// TestFlowletSweepPreservesDecisions: eviction is invisible to routing — a
+// flow revisited after eviction re-balances exactly like one whose entry
+// survived past the gap, because both paths run the same stateless Adaptive
+// choice.
+func TestFlowletSweepPreservesDecisions(t *testing.T) {
+	gap := 10 * sim.Microsecond
+	cands := []int{0, 1, 2, 3}
+	p := dataPkt(1, 2, 100, 0)
+
+	// Arm A: entry evicted (idle far past the factor), then revisited.
+	fa := NewFlowlet(gap)
+	ca := newFakeCtx()
+	fa.Select(p, cands, ca)
+	ca.now = ca.now.Add(sim.Second)
+	// Churn unrelated flows so the sweep hand passes the stale entry.
+	for i := 0; i < 8; i++ {
+		fa.Select(dataPkt(3, 4, uint16(i), 0), cands, ca)
+	}
+	gotA := fa.Select(p, cands, ca)
+
+	// Arm B: entry still resident, gap expired.
+	fb := NewFlowlet(gap)
+	cb := newFakeCtx()
+	fb.Select(p, cands, cb)
+	cb.now = cb.now.Add(sim.Second)
+	for i := 0; i < 8; i++ {
+		fb.Select(dataPkt(3, 4, uint16(i), 0), cands, cb)
+	}
+	gotB := fb.Select(p, cands, cb)
+
+	if gotA != gotB {
+		t.Fatalf("eviction changed a routing decision: %d vs %d", gotA, gotB)
+	}
+}
+
+// TestIndexNonPowerOfTwoInRange: for every n > 0 (not just powers of two)
+// Index returns h mod n, in [0, n) — the modulo path must agree with the
+// documented contract, not just the masked fast path.
+func TestIndexNonPowerOfTwoInRange(t *testing.T) {
+	f := func(h uint32, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		got := Index(h, n)
+		return got == int(h%uint32(n)) && got >= 0 && got < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGF32MulSeedOr1Invertible: seeding with seed|1 guarantees a nonzero
+// multiplier, and multiplication by a nonzero field element is injective — so
+// per-switch seeding permutes the hash space instead of collapsing it. This
+// is the property that keeps ECMPIndex collision-free across hash inputs.
+func TestGF32MulSeedOr1Invertible(t *testing.T) {
+	f := func(h1, h2, seed uint32) bool {
+		s := seed | 1
+		if h1 == h2 {
+			return gf32Mul(h1, s) == gf32Mul(h2, s)
+		}
+		return gf32Mul(h1, s) != gf32Mul(h2, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

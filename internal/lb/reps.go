@@ -1,0 +1,179 @@
+package lb
+
+import "themis/internal/packet"
+
+// EntropySource is the sender-side per-packet entropy chooser: it picks the
+// UDP source port ("entropy value") stamped on each outgoing data packet, so
+// the fabric's per-flow ECMP hash lands the packet on a sender-chosen path.
+// The RNIC threads transport feedback back into the source — cumulative ACK
+// advances, NACKs and RTO expiries — which is exactly the signal REPS-style
+// caches need to distinguish good paths from failed ones.
+//
+// Implementations must be deterministic functions of the call sequence: the
+// hook runs inside the sender's event handlers, so any hidden randomness
+// would break the engine's byte-identical replay and shard-count invariance.
+type EntropySource interface {
+	// Pick returns the entropy value for the (re)transmission of psn.
+	Pick(psn packet.PSN) uint16
+	// OnAck reports that psn was cumulatively acknowledged: the entropy it
+	// carried traversed a good path.
+	OnAck(psn packet.PSN)
+	// OnNack reports that psn was explicitly NACKed (received out of order
+	// or lost): its entropy is suspect.
+	OnNack(psn packet.PSN)
+	// OnTimeout reports an RTO expiry: every cached path estimate is stale.
+	OnTimeout()
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// REPS is Recycled Entropy Packet Spraying (PAPERS.md): a bounded per-source
+// cache of entropy values that recently traversed good paths. Each ACKed
+// packet recycles its entropy into a fixed-size FIFO ring; each transmission
+// pops the oldest recycled value, or explores a fresh one when the ring is
+// empty (cold start, or after feedback drained it). A NACK evicts the failed
+// packet's entropy from both the in-flight map and the ring, and an RTO
+// flushes the ring entirely — so entropy pointing at a blackholed path ages
+// out within one feedback round-trip instead of being re-sprayed until the
+// control plane reacts.
+//
+// The cache is a pure function of the transport feedback sequence: no RNG,
+// no wall clock, so a REPS sender is shard-invariant and byte-replayable.
+type REPS struct {
+	base uint16
+	ring []uint16 // circular FIFO of recycled entropy values
+	head int
+	n    int
+	// inflight maps outstanding PSNs to the entropy they carry, so ACK/NACK
+	// feedback (which names only the PSN) can be attributed to a path. Never
+	// iterated — lookups and deletes only.
+	inflight map[packet.PSN]uint16
+	explore  uint16
+	stats    REPSStats
+}
+
+// REPSStats counts cache events for reports and tests.
+type REPSStats struct {
+	Recycled uint64 // ACKed entropy values returned to the ring
+	Explored uint64 // fresh entropy values minted on ring miss
+	Evicted  uint64 // entropy values scrubbed by NACK feedback
+	Flushes  uint64 // whole-ring flushes on RTO expiry
+}
+
+// DefaultREPSCache is the default ring capacity: roughly one
+// bandwidth-delay product of 4KB packets on the fabrics the grids model,
+// and comfortably more than the path diversity of the k≤8 topologies.
+const DefaultREPSCache = 64
+
+// NewREPS returns a REPS entropy source. base is the flow's home source port
+// (the value a non-spraying sender would stamp on every packet); size is the
+// ring capacity (DefaultREPSCache if <= 0).
+func NewREPS(base uint16, size int) *REPS {
+	if size <= 0 {
+		size = DefaultREPSCache
+	}
+	return &REPS{
+		base:     base,
+		ring:     make([]uint16, size),
+		inflight: make(map[packet.PSN]uint16),
+	}
+}
+
+// Pick implements EntropySource: recycle the oldest cached entropy, or
+// explore a fresh value on a miss.
+func (r *REPS) Pick(psn packet.PSN) uint16 {
+	var e uint16
+	if r.n > 0 {
+		e = r.ring[r.head]
+		r.head = (r.head + 1) % len(r.ring)
+		r.n--
+		r.stats.Recycled++
+	} else {
+		e = r.base + r.explore
+		r.explore++
+		r.stats.Explored++
+	}
+	r.inflight[psn] = e
+	return e
+}
+
+// OnAck implements EntropySource: the entropy psn carried saw a good path —
+// return it to the ring (dropped if the ring is full: the cache already
+// holds enough known-good entropy).
+func (r *REPS) OnAck(psn packet.PSN) {
+	e, ok := r.inflight[psn]
+	if !ok {
+		return
+	}
+	delete(r.inflight, psn)
+	if r.n == len(r.ring) {
+		return
+	}
+	r.ring[(r.head+r.n)%len(r.ring)] = e
+	r.n++
+}
+
+// OnNack implements EntropySource: psn's entropy is suspect — forget the
+// in-flight attribution and scrub every cached copy of the value, so the
+// next transmissions stop landing on the failed path.
+func (r *REPS) OnNack(psn packet.PSN) {
+	e, ok := r.inflight[psn]
+	if !ok {
+		return
+	}
+	delete(r.inflight, psn)
+	kept := 0
+	for i := 0; i < r.n; i++ {
+		v := r.ring[(r.head+i)%len(r.ring)]
+		if v == e {
+			r.stats.Evicted++
+			continue
+		}
+		r.ring[(r.head+kept)%len(r.ring)] = v
+		kept++
+	}
+	r.n = kept
+	r.stats.Evicted++ // the in-flight copy itself
+}
+
+// OnTimeout implements EntropySource: an RTO means the feedback loop itself
+// stalled — every cached estimate is stale, so flush the ring and re-explore.
+func (r *REPS) OnTimeout() {
+	r.head, r.n = 0, 0
+	r.stats.Flushes++
+}
+
+// Name implements EntropySource.
+func (r *REPS) Name() string { return "reps" }
+
+// Cached returns the number of recycled entropy values currently in the ring.
+func (r *REPS) Cached() int { return r.n }
+
+// Stats returns the cache event counters.
+func (r *REPS) Stats() REPSStats { return r.stats }
+
+// EntropyRoundRobin stamps entropy base+PSN mod Buckets: a stateless spray
+// over a fixed bucket set. It is the sender half of the congestion-aware
+// arm — the switch-side CongestionAware selector and the per-path DCQCN
+// coupling both key their estimates off the same bucket arithmetic.
+type EntropyRoundRobin struct {
+	Base    uint16
+	Buckets int
+}
+
+// Pick implements EntropySource.
+func (e EntropyRoundRobin) Pick(psn packet.PSN) uint16 {
+	return e.Base + uint16(psn.Mod(e.Buckets))
+}
+
+// OnAck implements EntropySource (stateless: no-op).
+func (EntropyRoundRobin) OnAck(packet.PSN) {}
+
+// OnNack implements EntropySource (stateless: no-op).
+func (EntropyRoundRobin) OnNack(packet.PSN) {}
+
+// OnTimeout implements EntropySource (stateless: no-op).
+func (EntropyRoundRobin) OnTimeout() {}
+
+// Name implements EntropySource.
+func (EntropyRoundRobin) Name() string { return "rr" }

@@ -1,0 +1,219 @@
+package lb
+
+import (
+	"testing"
+
+	"themis/internal/packet"
+)
+
+// TestREPSExploresWhenEmpty pins the cold-start behavior: with nothing
+// recycled, every pick mints a fresh entropy value base, base+1, …
+func TestREPSExploresWhenEmpty(t *testing.T) {
+	r := NewREPS(1000, 4)
+	for i := 0; i < 8; i++ {
+		if got, want := r.Pick(packet.PSN(i)), uint16(1000+i); got != want {
+			t.Fatalf("pick %d = %d, want %d", i, got, want)
+		}
+	}
+	if st := r.Stats(); st.Explored != 8 || st.Recycled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestREPSRecycleOrdering is the core REPS loop: ACKed entropy re-enters the
+// ring FIFO and is handed out oldest-first before any new value is explored.
+func TestREPSRecycleOrdering(t *testing.T) {
+	r := NewREPS(2000, 8)
+	for i := 0; i < 3; i++ {
+		r.Pick(packet.PSN(i)) // 2000, 2001, 2002 in flight
+	}
+	// ACK out of transmission order: recycle order is ACK order, not PSN order.
+	r.OnAck(1)
+	r.OnAck(0)
+	r.OnAck(2)
+	want := []uint16{2001, 2000, 2002}
+	for i, w := range want {
+		if got := r.Pick(packet.PSN(10 + i)); got != w {
+			t.Fatalf("recycled pick %d = %d, want %d", i, got, w)
+		}
+	}
+	if r.Cached() != 0 {
+		t.Fatalf("ring should be drained, cached = %d", r.Cached())
+	}
+	// Drained again: the next pick explores a fresh value, continuing the
+	// sequence (2003), not reusing one.
+	if got := r.Pick(20); got != 2003 {
+		t.Fatalf("post-drain pick = %d, want 2003", got)
+	}
+	if st := r.Stats(); st.Recycled != 3 || st.Explored != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestREPSNackEvictsEverywhere: a NACK scrubs the failed entropy from the
+// in-flight attribution AND every recycled copy in the ring, so no later pick
+// re-sprays onto the suspect path.
+func TestREPSNackEvictsEverywhere(t *testing.T) {
+	r := NewREPS(3000, 8)
+	r.Pick(0) // explores 3000
+	r.Pick(1) // explores 3001
+	r.OnAck(0)
+	r.OnAck(1)
+	// Ring now holds [3000, 3001]. Recycle 3000 onto psn 3 and NACK it.
+	if got := r.Pick(3); got != 3000 {
+		t.Fatalf("setup: pick = %d, want 3000", got)
+	}
+	r.OnNack(3)
+	// 3000 must be gone: the next picks are 3001 (still cached) then a fresh
+	// exploration — never 3000.
+	if got := r.Pick(4); got != 3001 {
+		t.Fatalf("post-nack pick = %d, want 3001", got)
+	}
+	if got := r.Pick(5); got == 3000 {
+		t.Fatal("evicted entropy came back")
+	}
+	if st := r.Stats(); st.Evicted == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestREPSNackScrubsRingCopies: NACK eviction removes every cached duplicate,
+// not just the first hit, and preserves the FIFO order of survivors.
+func TestREPSNackScrubsRingCopies(t *testing.T) {
+	r := NewREPS(0, 8)
+	// Build a ring [0, 1, 0, 2] by ACK order (entropy == explore offset).
+	for i := 0; i < 3; i++ {
+		r.Pick(packet.PSN(i)) // 0, 1, 2
+	}
+	r.OnAck(0) // ring [0]
+	r.OnAck(1) // ring [0 1]
+	r.Pick(10) // recycles 0
+	r.OnAck(10)
+	r.OnAck(2) // ring [1 0 2]
+	r.Pick(11) // recycles 1
+	r.OnAck(11)
+	// Ring is [0 2 1]; now carry 0 in flight and NACK it.
+	if got := r.Pick(12); got != 0 {
+		t.Fatalf("setup pick = %d, want 0", got)
+	}
+	r.OnNack(12)
+	if r.Cached() != 2 {
+		t.Fatalf("cached = %d, want 2", r.Cached())
+	}
+	if a, b := r.Pick(13), r.Pick(14); a != 2 || b != 1 {
+		t.Fatalf("survivors = %d, %d, want 2, 1", a, b)
+	}
+}
+
+// TestREPSTimeoutFlushes: an RTO invalidates the whole cache — the ring
+// empties and picks go back to exploration.
+func TestREPSTimeoutFlushes(t *testing.T) {
+	r := NewREPS(4000, 8)
+	for i := 0; i < 4; i++ {
+		r.Pick(packet.PSN(i)) // explores 4000..4003
+	}
+	for i := 0; i < 4; i++ {
+		r.OnAck(packet.PSN(i))
+	}
+	if r.Cached() != 4 {
+		t.Fatalf("cached = %d", r.Cached())
+	}
+	r.OnTimeout()
+	if r.Cached() != 0 {
+		t.Fatalf("cached after flush = %d", r.Cached())
+	}
+	if got := r.Pick(10); got != 4004 {
+		t.Fatalf("post-flush pick = %d, want fresh 4004", got)
+	}
+	if st := r.Stats(); st.Flushes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestREPSRingBounded: the ring never grows past its capacity — surplus ACKs
+// drop their entropy instead of allocating.
+func TestREPSRingBounded(t *testing.T) {
+	r := NewREPS(0, 4)
+	for i := 0; i < 32; i++ {
+		r.Pick(packet.PSN(i))
+	}
+	for i := 0; i < 32; i++ {
+		r.OnAck(packet.PSN(i))
+	}
+	if r.Cached() != 4 {
+		t.Fatalf("cached = %d, want capacity 4", r.Cached())
+	}
+	// The kept values are the first four ACKed, FIFO.
+	for i := 0; i < 4; i++ {
+		if got := r.Pick(packet.PSN(100 + i)); got != uint16(i) {
+			t.Fatalf("pick %d = %d, want %d", i, got, i)
+		}
+	}
+}
+
+// TestREPSUnknownFeedbackIgnored: ACK/NACK for PSNs with no in-flight
+// attribution (duplicate feedback, pre-hook packets) are no-ops.
+func TestREPSUnknownFeedbackIgnored(t *testing.T) {
+	r := NewREPS(0, 4)
+	r.OnAck(99)
+	r.OnNack(99)
+	if r.Cached() != 0 {
+		t.Fatalf("cached = %d", r.Cached())
+	}
+	r.Pick(0)
+	r.OnAck(0)
+	r.OnAck(0) // duplicate: entropy must not be recycled twice
+	if r.Cached() != 1 {
+		t.Fatalf("cached = %d after duplicate ack", r.Cached())
+	}
+}
+
+// TestREPSDeterministic: two instances fed the same feedback sequence emit
+// identical picks — the property the shard-invariance contract needs.
+func TestREPSDeterministic(t *testing.T) {
+	run := func() []uint16 {
+		r := NewREPS(7000, 8)
+		var out []uint16
+		for i := 0; i < 64; i++ {
+			psn := packet.PSN(i)
+			out = append(out, r.Pick(psn))
+			switch i % 5 {
+			case 0, 1, 2:
+				r.OnAck(psn)
+			case 3:
+				r.OnNack(psn)
+			case 4:
+				if i%20 == 19 {
+					r.OnTimeout()
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEntropyRoundRobin(t *testing.T) {
+	e := EntropyRoundRobin{Base: 5000, Buckets: 3}
+	want := []uint16{5000, 5001, 5002, 5000, 5001}
+	for i, w := range want {
+		if got := e.Pick(packet.PSN(i)); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+	// Feedback is a no-op; Name identifies the policy.
+	e.OnAck(0)
+	e.OnNack(1)
+	e.OnTimeout()
+	if e.Name() != "rr" {
+		t.Fatal("name")
+	}
+	if NewREPS(0, 0).Name() != "reps" {
+		t.Fatal("reps name")
+	}
+}

@@ -82,6 +82,7 @@ func TestHotSetSpansRealPackages(t *testing.T) {
 		"/internal/fabric.",
 		"/internal/core.",
 		"/internal/obs.",
+		"/internal/lb.",
 	} {
 		found := false
 		for _, fn := range hot {
@@ -96,8 +97,13 @@ func TestHotSetSpansRealPackages(t *testing.T) {
 	}
 	// The timing-wheel pop path and the fabric burst drain are pinned by
 	// name: Run/AdvanceTo must drag the wheel internals into the hot set, and
-	// the outQueue roots must resolve against the real receiver. If any of
-	// these vanish the corresponding root has rotted into vacuity.
+	// the outQueue roots must resolve against the real receiver. The lb
+	// selectors ride the lb.Selector interface fan-out from swInst.receive:
+	// every concrete Select in the module is per-packet work on the forward
+	// path, so the hot-alloc scan must reach the spraying arms — if the
+	// congestion-aware or flowlet Select falls out, its //lint:alloc-ok
+	// reviews guard nothing. If any of these vanish the corresponding root
+	// has rotted into vacuity.
 	for _, fn := range []string{
 		"/internal/sim.wheel).pop",
 		"/internal/sim.wheel).refill",
@@ -105,6 +111,8 @@ func TestHotSetSpansRealPackages(t *testing.T) {
 		"/internal/fabric.outQueue).txDone",
 		"/internal/fabric.outQueue).deliverBurst",
 		"/internal/fabric.outQueue).pipePush",
+		"/internal/lb.CongestionAware).Select",
+		"/internal/lb.Flowlet).Select",
 	} {
 		found := false
 		for _, h := range hot {
@@ -115,6 +123,64 @@ func TestHotSetSpansRealPackages(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("hot set lost %s — wheel/burst entry points are no longer pinned", fn)
+		}
+	}
+}
+
+// TestReachCoversFeedbackPaths pins the map-order/taint reach set over the
+// ACK-feedback plane: the sender's ACK/NACK hooks drive retransmission and
+// RTO re-arming (event-queue sinks), and the per-path DCQCN cut re-arms the
+// α-decay timer. All three must sit in the reverse closure of the sinks —
+// otherwise a map range added to the feedback path would feed Go's
+// randomized iteration order into the event queue without a finding, and the
+// map-order analyzer would be vacuous over the entropy-cache machinery.
+func TestReachCoversFeedbackPaths(t *testing.T) {
+	prog, err := realProg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := prog.Reach()
+	for _, fn := range []string{
+		"/internal/rnic.SenderQP).onAck",
+		"/internal/rnic.SenderQP).onNack",
+		"/internal/cc.DCQCN).OnCNPPath",
+	} {
+		found := false
+		for name, ok := range reach {
+			if ok && strings.Contains(name, fn) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("reach set lost %s — the map-order analyzer no longer covers the feedback path", fn)
+		}
+	}
+}
+
+// TestPurityScopeCoversArms proves the purity analyzer is non-vacuous over
+// the LB arms and the congestion-control state: internal/lb and internal/cc
+// are inside the purity scope, and the loaded module actually declares
+// functions there — so a goroutine, channel, or mutex smuggled into REPS,
+// CongestionAware, or PathAlpha is a lint finding, not a silent
+// shard-determinism hazard.
+func TestPurityScopeCoversArms(t *testing.T) {
+	prog, err := realProg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"internal/lb", "internal/cc"} {
+		if !inScope(Purity, rel) {
+			t.Errorf("purity scope lost %s", rel)
+		}
+		n := 0
+		for _, name := range prog.Graph.FuncNames {
+			if strings.Contains(name, "/"+rel+".") {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Errorf("no %s functions loaded — the purity scope entry is vacuous", rel)
 		}
 	}
 }

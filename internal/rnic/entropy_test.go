@@ -1,0 +1,198 @@
+package rnic
+
+import (
+	"fmt"
+	"testing"
+
+	"themis/internal/lb"
+	"themis/internal/packet"
+	"themis/internal/sim"
+)
+
+// recordingEntropy is a fake EntropySource that logs the exact call sequence
+// the sender drives, so the tests can pin the feedback-hook orderings.
+type recordingEntropy struct {
+	events []string
+}
+
+func (r *recordingEntropy) Pick(psn packet.PSN) uint16 {
+	r.events = append(r.events, fmt.Sprintf("pick %d", psn))
+	return 9000 + uint16(psn.Mod(16))
+}
+func (r *recordingEntropy) OnAck(psn packet.PSN) {
+	r.events = append(r.events, fmt.Sprintf("ack %d", psn))
+}
+func (r *recordingEntropy) OnNack(psn packet.PSN) {
+	r.events = append(r.events, fmt.Sprintf("nack %d", psn))
+}
+func (r *recordingEntropy) OnTimeout()   { r.events = append(r.events, "timeout") }
+func (r *recordingEntropy) Name() string { return "recording" }
+
+func newEntropyNIC(e *sim.Engine, sink *capture, rec *recordingEntropy, rto sim.Duration) *NIC {
+	return New(e, 0, Config{
+		LineRate:  100e9,
+		Transport: SelectiveRepeat,
+		DisableCC: true,
+		RTO:       rto,
+		NewEntropy: func(qp packet.QPID, base uint16) lb.EntropySource {
+			return rec
+		},
+	}, sink.inject)
+}
+
+// TestEntropyHookStampsEveryDataPacket: with the hook wired, every data
+// (re)transmission carries the entropy the source picked for its PSN — not
+// the flow's home sport.
+func TestEntropyHookStampsEveryDataPacket(t *testing.T) {
+	e := sim.NewEngine(1)
+	var sink capture
+	rec := &recordingEntropy{}
+	n := newEntropyNIC(e, &sink, rec, sim.Second)
+	s := n.OpenSender(1, 1, 7)
+	s.SendMessage(5*1500, nil)
+	runFor(e, sim.Millisecond)
+	datas := sink.byKind(packet.Data)
+	if len(datas) == 0 {
+		t.Fatal("no data packets sent")
+	}
+	for _, p := range datas {
+		if want := 9000 + uint16(p.PSN.Mod(16)); p.SPort != want {
+			t.Fatalf("psn %d stamped sport %d, want picked entropy %d", p.PSN, p.SPort, want)
+		}
+	}
+	if got, want := rec.events[0], "pick 0"; got != want {
+		t.Fatalf("first event %q, want %q", got, want)
+	}
+}
+
+// TestEntropyHookAckPerPSN: a cumulative ACK reports every newly-covered PSN
+// to the source, in PSN order — the recycle path.
+func TestEntropyHookAckPerPSN(t *testing.T) {
+	e := sim.NewEngine(1)
+	var sink capture
+	rec := &recordingEntropy{}
+	n := newEntropyNIC(e, &sink, rec, sim.Second)
+	s := n.OpenSender(1, 1, 7)
+	s.SendMessage(4*1500, nil)
+	runFor(e, sim.Millisecond)
+	rec.events = nil
+	s.onAck(&packet.Packet{Kind: packet.Ack, PSN: 3})
+	want := []string{"ack 0", "ack 1", "ack 2"}
+	if len(rec.events) != len(want) {
+		t.Fatalf("events = %v, want %v", rec.events, want)
+	}
+	for i, w := range want {
+		if rec.events[i] != w {
+			t.Fatalf("event %d = %q, want %q (%v)", i, rec.events[i], w, rec.events)
+		}
+	}
+}
+
+// TestEntropyHookNackEvictsBeforeRepick pins the eviction ordering: the NACK
+// feedback reaches the source before the immediate retransmission re-picks,
+// so the retransmit itself already avoids the suspect entropy.
+func TestEntropyHookNackEvictsBeforeRepick(t *testing.T) {
+	e := sim.NewEngine(1)
+	var sink capture
+	rec := &recordingEntropy{}
+	n := newEntropyNIC(e, &sink, rec, sim.Second)
+	s := n.OpenSender(1, 1, 7)
+	s.SendMessage(4*1500, nil)
+	runFor(e, sim.Millisecond)
+	rec.events = nil
+	// NACK for ePSN 2: PSNs 0-1 ack, then evict 2, then re-pick 2 for the
+	// datapath retransmission.
+	s.onNack(&packet.Packet{Kind: packet.Nack, PSN: 2})
+	want := []string{"ack 0", "ack 1", "nack 2", "pick 2"}
+	if len(rec.events) != len(want) {
+		t.Fatalf("events = %v, want %v", rec.events, want)
+	}
+	for i, w := range want {
+		if rec.events[i] != w {
+			t.Fatalf("event %d = %q, want %q (%v)", i, rec.events[i], w, rec.events)
+		}
+	}
+}
+
+// TestEntropyHookTimeoutFlush: an RTO expiry with outstanding data reports
+// OnTimeout — the whole-cache staleness signal.
+func TestEntropyHookTimeoutFlush(t *testing.T) {
+	e := sim.NewEngine(1)
+	var sink capture
+	rec := &recordingEntropy{}
+	n := newEntropyNIC(e, &sink, rec, 10*sim.Microsecond)
+	s := n.OpenSender(1, 1, 7)
+	s.SendMessage(1500, nil)
+	runFor(e, 50*sim.Microsecond) // no ACK path: the RTO must fire
+	if s.Stats().Timeouts == 0 {
+		t.Fatal("no timeout fired")
+	}
+	found := false
+	for _, ev := range rec.events {
+		if ev == "timeout" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no timeout event: %v", rec.events)
+	}
+}
+
+// TestEntropyUnsetKeepsFlowSport: the hook is opt-in — without NewEntropy the
+// sender stamps the flow's home sport on every packet, preserving the legacy
+// single-path behavior byte-for-byte.
+func TestEntropyUnsetKeepsFlowSport(t *testing.T) {
+	e := sim.NewEngine(1)
+	var sink capture
+	n := newTestNIC(e, 0, SelectiveRepeat, &sink)
+	s := n.OpenSender(1, 1, 7)
+	s.SendMessage(4*1500, nil)
+	runFor(e, sim.Millisecond)
+	for _, p := range sink.byKind(packet.Data) {
+		if p.SPort != 7 {
+			t.Fatalf("psn %d stamped sport %d, want flow sport 7", p.PSN, p.SPort)
+		}
+	}
+}
+
+// TestREPSWiredIntoSender: a real REPS cache behind the hook — the cold-start
+// window spreads entropy across values and a full ACK recycles them, the
+// integration counterpart of the unit orderings above.
+func TestREPSWiredIntoSender(t *testing.T) {
+	e := sim.NewEngine(1)
+	var sink capture
+	var reps *lb.REPS
+	n := New(e, 0, Config{
+		LineRate:  100e9,
+		Transport: SelectiveRepeat,
+		DisableCC: true,
+		RTO:       sim.Second,
+		NewEntropy: func(qp packet.QPID, base uint16) lb.EntropySource {
+			reps = lb.NewREPS(base, 8)
+			return reps
+		},
+	}, sink.inject)
+	s := n.OpenSender(1, 1, 1000)
+	s.SendMessage(6*1500, nil)
+	runFor(e, sim.Millisecond)
+	if reps == nil {
+		t.Fatal("factory never called")
+	}
+	// Cold cache: the first window explores distinct values upward of base.
+	seen := map[uint16]bool{}
+	for _, p := range sink.byKind(packet.Data) {
+		seen[p.SPort] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("REPS cold start did not spread entropy: %v", seen)
+	}
+	// ACK everything: the entropy recycles into the cache.
+	s.onAck(&packet.Packet{Kind: packet.Ack, PSN: 6})
+	if reps.Cached() == 0 {
+		t.Fatal("nothing recycled after full ACK")
+	}
+	if st := reps.Stats(); st.Explored == 0 || st.Recycled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

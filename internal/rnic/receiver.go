@@ -68,7 +68,7 @@ func (r *ReceiverQP) Stats() ReceiverStats { return r.stats }
 func (r *ReceiverQP) onData(p *packet.Packet) {
 	r.stats.DataRx++
 	if p.ECN {
-		r.maybeSendCNP()
+		r.maybeSendCNP(p.SPort)
 	}
 	switch {
 	case p.PSN == r.epsn:
@@ -163,7 +163,11 @@ func (r *ReceiverQP) sendNack() {
 }
 
 // maybeSendCNP rate-limits congestion notifications to one per CNPInterval.
-func (r *ReceiverQP) maybeSendCNP() {
+// The CNP echoes the marked data packet's source-port entropy so a spraying
+// sender can attribute the congestion to the path it stamped (per-path
+// DCQCN); for non-spraying flows the data entropy equals the flow sport, so
+// the echo is indistinguishable from the historical constant stamp.
+func (r *ReceiverQP) maybeSendCNP(entropy uint16) {
 	now := r.nic.engine.Now()
 	if r.cnpEverSent && now.Sub(r.lastCNP) < r.nic.cfg.CNPInterval {
 		return
@@ -176,7 +180,7 @@ func (r *ReceiverQP) maybeSendCNP() {
 	p.Src = r.nic.id
 	p.Dst = r.src
 	p.QP = r.qp
-	p.SPort = r.sport
+	p.SPort = entropy
 	p.DPort = 4791
 	r.nic.inject(p)
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"themis/internal/cc"
+	"themis/internal/lb"
 	"themis/internal/obs"
 	"themis/internal/packet"
 	"themis/internal/sim"
@@ -92,6 +93,15 @@ type Config struct {
 	// spraying into out-of-order arrivals even without persistent
 	// congestion. Default: one packet (perfectly smooth pacing).
 	BurstBytes int
+	// NewEntropy, if non-nil, gives every sender QP an EntropySource: the
+	// sender stamps each data (re)transmission's source port from
+	// Pick(psn) instead of the flow's constant sport, and threads transport
+	// feedback back into the source — OnAck per cumulatively-acknowledged
+	// PSN, OnNack per explicit NACK, OnTimeout per RTO expiry. This is the
+	// ACK-feedback hook the REPS arm lives on. base is the flow's home
+	// sport, so a source that returns base unchanged reproduces the legacy
+	// single-path behaviour bit for bit.
+	NewEntropy func(qp packet.QPID, base uint16) lb.EntropySource
 	// Pool, if non-nil, is the packet free list injected packets are drawn
 	// from. Share it with fabric.Config.Pool so delivered packets recycle
 	// back. Nil allocates normally.

@@ -2,6 +2,7 @@ package rnic
 
 import (
 	"themis/internal/cc"
+	"themis/internal/lb"
 	"themis/internal/packet"
 	"themis/internal/sim"
 )
@@ -36,6 +37,11 @@ type SenderQP struct {
 	sport uint16
 
 	dcqcn *cc.DCQCN
+
+	// entropy, when non-nil (Config.NewEntropy), chooses the source port of
+	// every data (re)transmission and receives the transport feedback
+	// (ACK/NACK/RTO) — the REPS-style sender-side spraying hook.
+	entropy lb.EntropySource
 
 	// PSN space. All comparisons go through packet.PSN's serial-number
 	// arithmetic so the window logic survives the 24-bit wrap.
@@ -76,6 +82,9 @@ func newSenderQP(n *NIC, qp packet.QPID, dst packet.NodeID, sport uint16) *Sende
 	}
 	if !n.cfg.DisableCC {
 		s.dcqcn = cc.New(n.engine, n.cfg.CC)
+	}
+	if n.cfg.NewEntropy != nil {
+		s.entropy = n.cfg.NewEntropy(qp, sport)
 	}
 	s.rto = sim.NewTimer(n.engine, s.onTimeout)
 	return s
@@ -190,6 +199,9 @@ func (s *SenderQP) transmitNext() {
 		p.Dst = s.dst
 		p.QP = s.qp
 		p.SPort = s.sport
+		if s.entropy != nil {
+			p.SPort = s.entropy.Pick(psn)
+		}
 		p.DPort = 4791
 		p.PSN = psn
 		p.Payload = payload
@@ -257,6 +269,11 @@ func (s *SenderQP) onAck(p *packet.Packet) {
 func (s *SenderQP) onNack(p *packet.Packet) {
 	s.stats.NacksRx++
 	s.advanceCumAck(p.PSN)
+	if s.entropy != nil {
+		// Evict the failed path's entropy before any retransmission
+		// re-picks, so the retransmit itself avoids the suspect path.
+		s.entropy.OnNack(p.PSN)
+	}
 	switch s.nic.cfg.Transport {
 	case SelectiveRepeat:
 		// §2.2: upon receiving a NACK the RNIC retransmits the ePSN packet
@@ -294,6 +311,9 @@ func (s *SenderQP) retransmitNow(psn packet.PSN) {
 	p.Dst = s.dst
 	p.QP = s.qp
 	p.SPort = s.sport
+	if s.entropy != nil {
+		p.SPort = s.entropy.Pick(psn)
+	}
 	p.DPort = 4791
 	p.PSN = psn
 	p.Payload = payload
@@ -313,11 +333,19 @@ func (s *SenderQP) retransmitNow(psn packet.PSN) {
 	}
 }
 
-func (s *SenderQP) onCnp(_ *packet.Packet) {
+func (s *SenderQP) onCnp(p *packet.Packet) {
 	s.stats.CnpsRx++
-	if s.dcqcn != nil {
-		s.dcqcn.OnCNP()
+	if s.dcqcn == nil {
+		return
 	}
+	if b := s.nic.cfg.CC.PathBuckets; b > 0 {
+		// The CNP echoes the marked data packet's entropy (see
+		// ReceiverQP.maybeSendCNP), so the congestion can be attributed to
+		// the path bucket the sender stamped it with.
+		s.dcqcn.OnCNPPath(int(p.SPort-s.sport) % b)
+		return
+	}
+	s.dcqcn.OnCNP()
 }
 
 func (s *SenderQP) queueRetransmit(psn packet.PSN) {
@@ -336,6 +364,9 @@ func (s *SenderQP) advanceCumAck(epsn packet.PSN) {
 	}
 	for psn := s.cumAck; psn != epsn; psn = psn.Next() {
 		s.stats.GoodputBytes += uint64(s.payloadOf(psn))
+		if s.entropy != nil {
+			s.entropy.OnAck(psn)
+		}
 	}
 	// Drop tail-size records below the ack point. Deleting stale entries is
 	// commutative, so the map iteration order cannot leak into the run.
@@ -378,6 +409,9 @@ func (s *SenderQP) onTimeout() {
 	}
 	s.stats.Timeouts++
 	s.rtoStreak++
+	if s.entropy != nil {
+		s.entropy.OnTimeout()
+	}
 	switch s.nic.cfg.Transport {
 	case SelectiveRepeat, Ideal:
 		s.queueRetransmit(s.cumAck)

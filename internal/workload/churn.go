@@ -27,7 +27,9 @@ type ChurnConfig struct {
 	Bandwidth                    int64
 
 	// Arms.
-	LB        LBMode
+	LB          LBMode
+	RepsCache   int // REPS ring capacity (LB == REPS; 0 = default)
+	PathBuckets int // congestion-aware entropy buckets (LB == CongestionAware; 0 = default)
 	Transport rnic.Transport
 
 	// Churn shape: QPs flows are opened over the run, Concurrency at a time;
@@ -229,6 +231,8 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		HostsPerLeaf:       cfg.HostsPerLeaf,
 		Bandwidth:          cfg.Bandwidth,
 		LB:                 cfg.LB,
+		RepsCache:          cfg.RepsCache,
+		PathBuckets:        cfg.PathBuckets,
 		Transport:          cfg.Transport,
 		BurstBytes:         cfg.BurstBytes,
 		BufferBytes:        cfg.BufferBytes,

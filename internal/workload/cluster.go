@@ -49,6 +49,16 @@ const (
 	// Themis installs the full middleware: Themis-S spraying at source ToRs
 	// and Themis-D NACK filtering + compensation at destination ToRs.
 	Themis
+	// REPS is Recycled Entropy Packet Spraying: the sender sprays via a
+	// bounded cache of recently-ACKed entropy values (lb.REPS) fed by the
+	// RNIC's transport feedback; switches hash the stamped entropy with
+	// plain ECMP.
+	REPS
+	// CongestionAware sprays per-packet round-robin entropy at the sender
+	// and steers around congested paths switch-locally (lb.CongestionAware:
+	// per-port ECN-knee EWMA), with DCQCN cutting by per-path α estimates
+	// instead of the flow-global one.
+	CongestionAware
 )
 
 // String returns the arm mnemonic.
@@ -66,6 +76,10 @@ func (m LBMode) String() string {
 		return "spray-nothemis"
 	case Themis:
 		return "themis"
+	case REPS:
+		return "reps"
+	case CongestionAware:
+		return "congestion"
 	default:
 		return fmt.Sprintf("LBMode(%d)", int(m))
 	}
@@ -100,6 +114,14 @@ type ClusterConfig struct {
 	// Load balancing.
 	LB         LBMode
 	FlowletGap sim.Duration // default 50 us
+	// RepsCache is the REPS entropy-ring capacity (default
+	// lb.DefaultREPSCache). Used when LB == REPS.
+	RepsCache int
+	// PathBuckets is the entropy-bucket count of the congestion-aware arm:
+	// the sender round-robins data packets over this many source ports and
+	// DCQCN keeps one α per bucket (default 16). Used when
+	// LB == CongestionAware.
+	PathBuckets int
 
 	// NIC / transport.
 	Transport  rnic.Transport
@@ -161,6 +183,12 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if c.FlowletGap == 0 {
 		c.FlowletGap = 50 * sim.Microsecond
 	}
+	if c.RepsCache == 0 {
+		c.RepsCache = lb.DefaultREPSCache
+	}
+	if c.PathBuckets == 0 {
+		c.PathBuckets = 16
+	}
 	return c
 }
 
@@ -179,8 +207,38 @@ func (c ClusterConfig) selector() func() lb.Selector {
 		return func() lb.Selector { return lb.NewFlowlet(gap) }
 	case SprayNoThemis:
 		return func() lb.Selector { return lb.PSNSpray{} }
+	case REPS:
+		// The sender's entropy cache does the path steering; switches just
+		// hash the stamped five-tuple.
+		return func() lb.Selector { return lb.ECMP{} }
+	case CongestionAware:
+		// Bias the spray away from ports whose queue has been sitting at or
+		// above the ECN-marking knee — the same signal DCQCN reacts to, read
+		// switch-locally and a feedback-delay earlier.
+		mark := fabric.DefaultECN(c.Bandwidth).KminBytes
+		return func() lb.Selector { return lb.NewCongestionAware(mark, 0, 0) }
 	default:
 		panic(fmt.Sprintf("workload: unknown LB mode %d", int(c.LB)))
+	}
+}
+
+// entropyWiring applies the sender-side half of the spraying arms to a NIC
+// config: the REPS cache (with its ACK-feedback hook) or the round-robin
+// bucket entropy plus per-path DCQCN of the congestion-aware arm. A no-op
+// for every other mode, byte-for-byte.
+func (c ClusterConfig) entropyWiring(ncfg *rnic.Config) {
+	switch c.LB {
+	case REPS:
+		size := c.RepsCache
+		ncfg.NewEntropy = func(_ packet.QPID, base uint16) lb.EntropySource {
+			return lb.NewREPS(base, size)
+		}
+	case CongestionAware:
+		buckets := c.PathBuckets
+		ncfg.NewEntropy = func(_ packet.QPID, base uint16) lb.EntropySource {
+			return lb.EntropyRoundRobin{Base: base, Buckets: buckets}
+		}
+		ncfg.CC.PathBuckets = buckets
 	}
 }
 
@@ -300,6 +358,7 @@ func BuildCluster(cfg ClusterConfig) (*Cluster, error) {
 	ncfg.CC.TI = cfg.TI
 	ncfg.CC.TD = cfg.TD
 	ncfg.CC.NackFactor = cfg.NackFactor
+	cfg.entropyWiring(&ncfg)
 	for h := 0; h < t.NumHosts(); h++ {
 		id := packet.NodeID(h)
 		nic := rnic.New(engine, id, ncfg, func(p *packet.Packet) { net.Inject(id, p) })

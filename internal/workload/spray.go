@@ -31,7 +31,9 @@ type SprayConfig struct {
 	BufferBytes  int          // switch shared buffer (default 64 MB)
 	MessageBytes int64        // per host (default 1 MB)
 	BurstBytes   int          // NIC pacer burst (default: ClusterConfig default)
-	LB           LBMode       // ECMP, RandomSpray, Adaptive or Flowlet (not Themis)
+	LB           LBMode       // any non-Themis arm (incl. REPS / CongestionAware)
+	RepsCache    int          // REPS ring capacity (LB == REPS; 0 = default)
+	PathBuckets  int          // congestion-aware entropy buckets (0 = default)
 	DisablePFC   bool
 	DisableECN   bool
 	// Shards is the number of space-parallel shards (default 1). The result
@@ -112,10 +114,19 @@ func RunSpray(cfg SprayConfig) (*SprayResult, error) {
 	}
 	group := sim.NewShardGroup(engines, la)
 
+	// The selector and the sender-side entropy wiring share one lowered
+	// ClusterConfig so the switch MarkBytes knee and the NIC bucket counts
+	// stay consistent with the single-shard cluster path.
+	lcfg := ClusterConfig{
+		LB:          cfg.LB,
+		Bandwidth:   cfg.Bandwidth,
+		RepsCache:   cfg.RepsCache,
+		PathBuckets: cfg.PathBuckets,
+	}.withDefaults()
 	fcfg := fabric.Config{
 		BufferBytes:     cfg.BufferBytes,
 		ControlLossless: true,
-		NewDataSelector: ClusterConfig{LB: cfg.LB}.withDefaults().selector(),
+		NewDataSelector: lcfg.selector(),
 	}
 	if !cfg.DisableECN {
 		fcfg.ECN = fabric.DefaultECN(cfg.Bandwidth)
@@ -139,6 +150,10 @@ func RunSpray(cfg SprayConfig) (*SprayResult, error) {
 			BurstBytes: cfg.BurstBytes,
 			Pool:       net.ShardPool(shard),
 		}
+		// Per-sender entropy state lives on the sender's own shard and is a
+		// pure function of its transport feedback, so the spraying arms stay
+		// shard-invariant.
+		lcfg.entropyWiring(&ncfg)
 		nic := rnic.New(group.Shard(shard), id, ncfg, func(p *packet.Packet) { net.Inject(id, p) })
 		net.AttachHost(id, nic.HandlePacket)
 		nics[h] = nic
